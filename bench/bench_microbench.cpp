@@ -1,0 +1,111 @@
+// Google-benchmark microbenchmarks: the runtime costs that determine the
+// framework's monitoring cadence (§5: "features sampled every 1000 cycles
+// ... higher system frequencies could allow shorter monitoring cycles").
+//
+//  * NoC simulation throughput per mesh size (the substrate's own cost)
+//  * VCO/BOC frame sampling
+//  * Detector inference per window
+//  * Localizer segmentation per frame, and the full localization round
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "monitor/dataset.hpp"
+#include "traffic/simulation.hpp"
+
+namespace {
+
+using namespace dl2f;
+
+void BM_MeshCycle(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(r);
+  traffic::Simulation sim(cfg);
+  sim.add_generator(std::make_unique<traffic::SyntheticTraffic>(
+      traffic::SyntheticPattern::UniformRandom, 0.02, 1));
+  sim.run(200);  // warm the network
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.shape.node_count());
+}
+BENCHMARK(BM_MeshCycle)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_VcoSampling(benchmark::State& state) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(16);
+  noc::Mesh mesh(cfg);
+  const monitor::FeatureSampler sampler(cfg.shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_vco(mesh));
+  }
+}
+BENCHMARK(BM_VcoSampling);
+
+void BM_BocSampling(benchmark::State& state) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(16);
+  noc::Mesh mesh(cfg);
+  const monitor::FeatureSampler sampler(cfg.shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_boc(mesh, false));
+  }
+}
+BENCHMARK(BM_BocSampling);
+
+monitor::FrameSample idle_sample(const MeshShape& mesh) {
+  const monitor::FrameGeometry geom(mesh);
+  monitor::FrameSample s;
+  for (Direction d : kMeshDirections) {
+    monitor::frame_of(s.vco, d) = geom.make_frame();
+    monitor::frame_of(s.boc, d) = geom.make_frame();
+  }
+  return s;
+}
+
+void BM_DetectorInference(benchmark::State& state) {
+  const auto mesh = MeshShape::square(static_cast<std::int32_t>(state.range(0)));
+  core::DetectorConfig cfg;
+  cfg.mesh = mesh;
+  core::DoSDetector det(cfg);
+  Rng rng(3);
+  det.model().init_weights(rng);
+  const auto s = idle_sample(mesh);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.predict_probability(s));
+  }
+}
+BENCHMARK(BM_DetectorInference)->Arg(8)->Arg(16);
+
+void BM_LocalizerSegmentFrame(benchmark::State& state) {
+  const auto mesh = MeshShape::square(static_cast<std::int32_t>(state.range(0)));
+  core::LocalizerConfig cfg;
+  cfg.mesh = mesh;
+  core::DoSLocalizer loc(cfg);
+  Rng rng(3);
+  loc.model().init_weights(rng);
+  const Frame f(mesh.rows(), mesh.cols() - 1, 100.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loc.segment(f));
+  }
+}
+BENCHMARK(BM_LocalizerSegmentFrame)->Arg(8)->Arg(16);
+
+void BM_FullLocalizationRound(benchmark::State& state) {
+  const auto mesh = MeshShape::square(16);
+  core::Dl2Fence fw(core::Dl2FenceConfig::paper_default(mesh));
+  Rng rng(3);
+  fw.detector().model().init_weights(rng);
+  fw.localizer().model().init_weights(rng);
+  const auto s = idle_sample(mesh);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fw.localize(s));
+  }
+}
+BENCHMARK(BM_FullLocalizationRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

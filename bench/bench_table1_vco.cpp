@@ -1,0 +1,34 @@
+// Table 1: DoS detection and localization, both on the Virtual Channel
+// Occupancy (VCO) feature, WITHOUT normalization.
+//
+// Expected shape (paper): detection strong everywhere (avg ~0.98 STP);
+// localization on VCO clearly weaker on traffic-intensive STP (~0.5 avg)
+// because instantaneous occupancy leaves holes in the observed route, but
+// strong on the low-traffic PARSEC workloads (~0.98).
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace dl2f;
+  const auto preset = bench::scale_preset();
+
+  const auto stp = bench::run_group(MeshShape::square(16), monitor::stp_benchmarks(),
+                                    core::Feature::Vco, core::Feature::Vco, preset, 0xA1);
+  // PARSEC windows are phase-heterogeneous (compute vs burst), so the 8x8
+  // group gets more scenarios/epochs; its simulations are ~4x cheaper.
+  auto parsec_preset = preset;
+  parsec_preset.scenarios_per_benchmark += 8;
+  parsec_preset.detector_epochs += 30;
+  const auto parsec = bench::run_group(MeshShape::square(8), monitor::parsec_benchmarks(),
+                                       core::Feature::Vco, core::Feature::Vco, parsec_preset, 0xA2);
+
+  bench::print_table(
+      "Table 1: DoS Detection and Localization Results for VCO feature (no normalization)",
+      stp, parsec);
+
+  std::cout << "Paper reference (16x16 STP avg): detection acc 0.98 / prec 0.99; "
+               "localization acc 0.53 / prec 0.69.\n"
+            << "Paper reference (PARSEC avg): detection acc 0.93; localization acc 0.98.\n";
+  return 0;
+}

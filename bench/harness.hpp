@@ -1,0 +1,58 @@
+// Shared train-and-evaluate engine for the table benches (Tables 1-4).
+//
+// Each table bench regenerates its numbers end to end: simulate the nine
+// benchmarks with FDoS overlays, sample feature frames, train the two
+// CNNs from scratch, then score detection and localization per benchmark.
+// Following the paper's setup, STP benchmarks run on a 16x16 mesh and
+// PARSEC workloads on an 8x8 mesh (Gem5's PARSEC limit, §5); each mesh
+// size gets its own model pair since the CNN input shape is mesh-bound.
+//
+// Scale presets: set DL2F_BENCH_SCALE=paper for the full 18-scenario runs
+// (minutes); the default "quick" preset reproduces the same table shape in
+// tens of seconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "monitor/dataset.hpp"
+
+namespace dl2f::bench {
+
+struct ScalePreset {
+  std::int32_t scenarios_per_benchmark = 12;
+  std::int32_t benign_samples = 4;
+  std::int32_t attack_samples = 4;
+  std::int32_t detector_epochs = 50;
+  std::int32_t localizer_epochs = 24;
+  double test_fraction = 0.3;
+};
+
+/// Resolve the preset from DL2F_BENCH_SCALE ("quick" default, "paper").
+[[nodiscard]] ScalePreset scale_preset();
+
+struct GroupResult {
+  std::vector<core::BenchmarkScore> scores;  ///< one per benchmark
+  core::BenchmarkScore average;
+  std::size_t train_windows = 0;
+  std::size_t test_windows = 0;
+};
+
+/// Simulate, train and score one mesh-size group of benchmarks.
+[[nodiscard]] GroupResult run_group(const MeshShape& mesh,
+                                    const std::vector<monitor::Benchmark>& benchmarks,
+                                    core::Feature det_feature, core::Feature loc_feature,
+                                    const ScalePreset& preset, std::uint64_t seed,
+                                    bool enable_vce = true);
+
+/// Print a full Tables-1/2/3-style table: STP columns + average, PARSEC
+/// columns + average; one row per metric with "detection|localization"
+/// cells.
+void print_table(const std::string& title, const GroupResult& stp, const GroupResult& parsec);
+
+/// Merge datasets (same mesh) into one training pool.
+[[nodiscard]] monitor::Dataset merge_datasets(const std::vector<monitor::Dataset>& parts);
+
+}  // namespace dl2f::bench

@@ -1,0 +1,87 @@
+// FIR sweep study: the refined flooding model of §2.3 in action.
+//
+// Sweeps the Flooding Injection Rate and reports how the benign workload
+// degrades — the property that makes low-FIR attacks stealthy (they
+// "sustain the negative impact" while staying below crash thresholds) and
+// motivates a detector that does not rely on outright failure.
+//
+// Build & run:  cmake --build build && ./build/examples/fir_sweep
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "monitor/sampler.hpp"
+#include "traffic/fdos.hpp"
+#include "traffic/parsec.hpp"
+#include "traffic/simulation.hpp"
+
+using namespace dl2f;
+
+int main() {
+  const MeshShape mesh = MeshShape::square(8);
+  TextTable table({"FIR", "BenignPktLat", "Slowdown", "RouteMeanVCO", "OffRouteMeanVCO"});
+
+  double baseline = 0.0;
+  for (const double fir : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    noc::MeshConfig cfg;
+    cfg.shape = mesh;
+    traffic::Simulation sim(cfg);
+    sim.add_generator(std::make_unique<traffic::ParsecTraffic>(
+        traffic::ParsecWorkload::Blackscholes, mesh, 11));
+
+    traffic::AttackScenario scenario;
+    scenario.attackers = {9};
+    scenario.victim = 62;
+    scenario.fir = fir;
+    if (fir > 0.0) {
+      sim.add_generator(std::make_unique<traffic::FloodingAttack>(scenario, 12));
+    }
+
+    sim.run(2000);
+    sim.mesh().benign_stats().reset();
+    sim.mesh().reset_telemetry();
+    sim.run(8000);
+
+    // Split the VCO picture into on-route and off-route ports.
+    const monitor::FeatureSampler sampler(mesh);
+    const auto vco = sampler.sample_vco(sim.mesh());
+    const auto route = scenario.ground_truth_ports(mesh);
+    const monitor::FrameGeometry geom(mesh);
+    double on_sum = 0.0, off_sum = 0.0;
+    std::int64_t on_n = 0, off_n = 0;
+    for (Direction d : kMeshDirections) {
+      const Frame& f = monitor::frame_of(vco, d);
+      for (std::int32_t r = 0; r < f.rows(); ++r) {
+        for (std::int32_t c = 0; c < f.cols(); ++c) {
+          const NodeId node = mesh.id_of(geom.to_coord(d, monitor::FramePos{r, c}));
+          const bool on = std::find(route.begin(), route.end(), std::make_pair(node, d)) !=
+                          route.end();
+          if (on) {
+            on_sum += f.at(r, c);
+            ++on_n;
+          } else {
+            off_sum += f.at(r, c);
+            ++off_n;
+          }
+        }
+      }
+    }
+    const double on_route = on_n > 0 ? on_sum / static_cast<double>(on_n) : 0.0;
+    const double off_route = off_n > 0 ? off_sum / static_cast<double>(off_n) : 0.0;
+
+    const double latency = sim.mesh().benign_stats().avg_packet_latency();
+    if (fir == 0.0) baseline = latency;
+    table.add_row({TextTable::cell(fir, 1), TextTable::cell(latency, 2),
+                   TextTable::cell(baseline > 0 ? latency / baseline : 1.0, 2) + "x",
+                   TextTable::cell(on_route, 4), TextTable::cell(off_route, 4)});
+  }
+
+  std::cout << "FIR sweep on 8x8 mesh, blackscholes-like benign workload, attacker 9 -> "
+               "victim 62:\n\n"
+            << table
+            << "\nEven at low FIR the on-route VCO footprint separates cleanly from the "
+               "background\nwhile benign latency degrades only mildly — the stealthy regime "
+               "DL2Fence targets.\n";
+  return 0;
+}

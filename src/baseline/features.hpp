@@ -1,0 +1,17 @@
+// Feature extraction shared by all baseline classifiers: flatten the four
+// directional frames of a sample into one vector (BOC jointly normalized,
+// exactly as the CNN detector's preprocessing does).
+#pragma once
+
+#include "baseline/classifier.hpp"
+#include "core/feature.hpp"
+#include "monitor/dataset.hpp"
+
+namespace dl2f::baseline {
+
+[[nodiscard]] std::vector<float> flatten_sample(const monitor::FrameSample& sample,
+                                                core::Feature feature);
+
+[[nodiscard]] LabeledData to_labeled_data(const monitor::Dataset& data, core::Feature feature);
+
+}  // namespace dl2f::baseline

@@ -1,0 +1,73 @@
+// Feature frames: the 2-D matrices DL2Fence treats as images.
+//
+// A Frame is a dense row-major float matrix. Directional VCO/BOC feature
+// frames are R x (R-1); Multi-Frame Fusion operates on 16x16 zero-padded
+// frames. Frame supports the exact operations Algorithm 1 needs:
+// normalization, binarization, zero padding and element-wise accumulation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace dl2f {
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(std::int32_t rows, std::int32_t cols, float fill = 0.0F)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  [[nodiscard]] std::int32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int32_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float& at(std::int32_t r, std::int32_t c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  [[nodiscard]] float at(std::int32_t r, std::int32_t c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  [[nodiscard]] const std::vector<float>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<float>& data() noexcept { return data_; }
+
+  [[nodiscard]] float max_value() const;
+  [[nodiscard]] float min_value() const;
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+
+  /// Scale all entries so the maximum becomes 1 (no-op on an all-zero
+  /// frame). This is the normalization the paper applies to integer BOC
+  /// frames before segmentation.
+  [[nodiscard]] Frame normalized() const;
+
+  /// Entries > threshold become 1, the rest 0 (Algorithm 1 line 2).
+  [[nodiscard]] Frame binarized(float threshold = 0.5F) const;
+
+  /// Embed this frame into a `rows x cols` zero frame with its top-left
+  /// corner at (row_off, col_off) (Algorithm 1 line 3: Zero_Pad_R/L/T/B).
+  [[nodiscard]] Frame zero_padded(std::int32_t rows, std::int32_t cols, std::int32_t row_off,
+                                  std::int32_t col_off) const;
+
+  /// Element-wise sum; shapes must match (Multi-Frame Fusion accumulate).
+  Frame& operator+=(const Frame& other);
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+
+ private:
+  std::int32_t rows_ = 0;
+  std::int32_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Pretty-print as an aligned grid (used by examples and Fig. 4 bench).
+std::ostream& operator<<(std::ostream& os, const Frame& f);
+
+}  // namespace dl2f

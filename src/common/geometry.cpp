@@ -1,0 +1,13 @@
+#include "common/geometry.hpp"
+
+#include <ostream>
+
+namespace dl2f {
+
+std::ostream& operator<<(std::ostream& os, const Coord& c) {
+  return os << '(' << c.x << ',' << c.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, Direction d) { return os << to_string(d); }
+
+}  // namespace dl2f

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the repo (traffic patterns, attacker
+// placement, weight init, dataset shuffling) draws from an explicitly
+// seeded Rng so that simulations, training runs and benchmark tables are
+// reproducible bit-for-bit across runs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+
+namespace dl2f {
+
+/// Thin wrapper over a 64-bit Mersenne Twister with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) { return unit_(engine_) < p; }
+
+  /// Normal draw with the given mean / standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Derive an independent child stream (e.g. one per node) from this one.
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Access the underlying engine for std::shuffle and distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace dl2f

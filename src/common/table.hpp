@@ -1,0 +1,32 @@
+// Minimal fixed-width text table, used by the bench harnesses to print
+// rows in the same layout as the paper's Tables 1-4.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dl2f {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  [[nodiscard]] static std::string cell(double v, int precision = 3);
+  /// Paper-style "detection|localization" paired cell.
+  [[nodiscard]] static std::string pair_cell(double det, double loc, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace dl2f

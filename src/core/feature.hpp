@@ -1,0 +1,17 @@
+// Feature-type selection shared by detector and localizer (§4): VCO is
+// float-natured and used raw; BOC is integer-natured and must be
+// normalized before model inference.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dl2f::core {
+
+enum class Feature : std::uint8_t { Vco, Boc };
+
+[[nodiscard]] constexpr std::string_view to_string(Feature f) noexcept {
+  return f == Feature::Vco ? "VCO" : "BOC";
+}
+
+}  // namespace dl2f::core

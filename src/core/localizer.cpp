@@ -1,0 +1,128 @@
+#include "core/localizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iostream>
+#include <numeric>
+
+namespace dl2f::core {
+
+DoSLocalizer::DoSLocalizer(const LocalizerConfig& cfg) : cfg_(cfg) {
+  assert(cfg.conv_layers >= 2);
+  std::int32_t in_ch = 1;
+  for (std::int32_t l = 0; l + 1 < cfg.conv_layers; ++l) {
+    if (cfg.depthwise_separable && in_ch > 1) {
+      // Depthwise-separable interior blocks (MobileNet extension, §6).
+      // The first layer stays a standard conv: with one input channel a
+      // DS block degenerates and loses cross-pixel mixing capacity.
+      model_.emplace<nn::DepthwiseSeparableConv2D>(in_ch, cfg.filters, cfg.kernel);
+    } else {
+      model_.emplace<nn::Conv2D>(in_ch, cfg.filters, cfg.kernel, nn::Padding::Same);
+    }
+    model_.emplace<nn::ReLU>();
+    in_ch = cfg.filters;
+  }
+  model_.emplace<nn::Conv2D>(in_ch, 1, cfg.kernel, nn::Padding::Same);
+  model_.emplace<nn::Sigmoid>();
+}
+
+nn::Tensor3 DoSLocalizer::preprocess(const Frame& frame) const {
+  if (cfg_.feature == Feature::Boc) {
+    return nn::Tensor3::from_frame(frame.normalized());
+  }
+  return nn::Tensor3::from_frame(frame);
+}
+
+Frame DoSLocalizer::segment(const Frame& frame) {
+  return model_.forward(preprocess(frame)).to_frame();
+}
+
+Frame DoSLocalizer::segment_binary(const Frame& frame) {
+  return segment(frame).binarized(cfg_.threshold);
+}
+
+monitor::DirectionalFrames DoSLocalizer::segment_all(const monitor::FrameSample& sample) {
+  const auto& frames = cfg_.feature == Feature::Vco ? sample.vco : sample.boc;
+  monitor::DirectionalFrames out;
+  for (Direction d : kMeshDirections) {
+    monitor::frame_of(out, d) = segment_binary(monitor::frame_of(frames, d));
+  }
+  return out;
+}
+
+LocalizerTrainReport train_localizer(DoSLocalizer& localizer, const monitor::Dataset& data,
+                                     const LocalizerTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  localizer.model().init_weights(rng);
+  nn::Adam optimizer(localizer.model().params(), cfg.learning_rate);
+
+  // One training item per (sample, direction) pair.
+  struct Item {
+    const Frame* input;
+    const Frame* mask;
+  };
+  std::vector<Item> items;
+  const auto feature = localizer.config().feature;
+  for (const auto& s : data.samples) {
+    const auto& frames = feature == Feature::Vco ? s.vco : s.boc;
+    for (Direction d : kMeshDirections) {
+      items.push_back(Item{&monitor::frame_of(frames, d), &monitor::frame_of(s.port_truth, d)});
+    }
+  }
+
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  LocalizerTrainReport report;
+  for (std::int32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    float epoch_loss = 0.0F;
+    double epoch_dice = 0.0;
+    std::int32_t in_batch = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const Item& item = items[order[i]];
+      const nn::Tensor3 out = localizer.model().forward(localizer.preprocess(*item.input));
+      const nn::Tensor3 target = nn::Tensor3::from_frame(*item.mask);
+      auto bce = nn::bce_loss(out, target, cfg.positive_weight);
+      const auto dice = nn::dice_loss(out, target);
+      epoch_loss += bce.loss + cfg.dice_weight * dice.loss;
+      epoch_dice += nn::dice_score(out, target);
+      for (std::size_t j = 0; j < bce.grad.size(); ++j) {
+        bce.grad.data()[j] += cfg.dice_weight * dice.grad.data()[j];
+      }
+      localizer.model().backward(bce.grad);
+      if (++in_batch == cfg.batch_size || i + 1 == order.size()) {
+        optimizer.step();
+        in_batch = 0;
+      }
+    }
+    const auto n = static_cast<float>(std::max<std::size_t>(order.size(), 1));
+    report.final_loss = epoch_loss / n;
+    report.final_dice = epoch_dice / n;
+    ++report.epochs_run;
+    if (cfg.verbose) {
+      std::cout << "localizer epoch " << epoch << " loss " << report.final_loss << " dice "
+                << report.final_dice << '\n';
+    }
+  }
+  return report;
+}
+
+double evaluate_localizer_dice(DoSLocalizer& localizer, const monitor::Dataset& data) {
+  const auto feature = localizer.config().feature;
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (const auto& s : data.samples) {
+    if (!s.under_attack) continue;
+    const auto& frames = feature == Feature::Vco ? s.vco : s.boc;
+    for (Direction d : kMeshDirections) {
+      const Frame seg = localizer.segment_binary(monitor::frame_of(frames, d));
+      const auto target = nn::Tensor3::from_frame(monitor::frame_of(s.port_truth, d));
+      total += nn::dice_score(nn::Tensor3::from_frame(seg), target);
+      ++count;
+    }
+  }
+  return count == 0 ? 1.0 : total / static_cast<double>(count);
+}
+
+}  // namespace dl2f::core

@@ -1,0 +1,33 @@
+#include "core/pipeline.hpp"
+
+namespace dl2f::core {
+
+Dl2Fence::Dl2Fence(const Dl2FenceConfig& cfg)
+    : cfg_(cfg), geom_(cfg.detector.mesh), detector_(cfg.detector), localizer_(cfg.localizer) {
+  assert(cfg.detector.mesh == cfg.localizer.mesh);
+}
+
+RoundResult Dl2Fence::localize(const monitor::FrameSample& sample) {
+  RoundResult r;
+  r.detected = true;
+  const monitor::DirectionalFrames seg = localizer_.segment_all(sample);
+  r.fusion = multi_frame_fusion(geom_, seg, cfg_.localizer.threshold);
+  r.tlm = trace_attackers(geom_, seg);
+  r.victims = r.fusion.victims;
+  if (cfg_.enable_vce) {
+    r.victims = victim_complementing_enhancement(geom_.mesh(), r.tlm, std::move(r.victims));
+  }
+  return r;
+}
+
+RoundResult Dl2Fence::process(const monitor::FrameSample& sample) {
+  RoundResult r;
+  r.probability = detector_.predict_probability(sample);
+  r.detected = r.probability > cfg_.detector.threshold;
+  if (!r.detected) return r;
+  RoundResult loc = localize(sample);
+  loc.probability = r.probability;
+  return loc;
+}
+
+}  // namespace dl2f::core

@@ -1,0 +1,66 @@
+// The end-to-end DL2Fence framework (Fig. 2): detector gates localizer;
+// segmentations fuse into victims; VCE optionally completes routing-path
+// victims; TLM pinpoints attackers. §3's operational flow:
+//   (1) periodic VCO sampling -> detector;
+//   (2) on anomaly, feature frames -> segmentation localizer;
+//   (3) MFF reconstructs attacking routes and victims; TLM finds attackers;
+//   (4) next sampling round repeats until no abnormal frames appear.
+#pragma once
+
+#include "core/detector.hpp"
+#include "core/fusion.hpp"
+#include "core/localizer.hpp"
+#include "core/tlm.hpp"
+#include "core/vce.hpp"
+
+namespace dl2f::core {
+
+struct Dl2FenceConfig {
+  DetectorConfig detector;    ///< default feature: VCO (Table 3 combination)
+  LocalizerConfig localizer;  ///< default feature: BOC (Table 3 combination)
+  bool enable_vce = true;     ///< Victim Complementing Enhancement (optional)
+
+  /// Defaults matching the paper's chosen VCO + BOC configuration.
+  static Dl2FenceConfig paper_default(const MeshShape& mesh) {
+    Dl2FenceConfig cfg;
+    cfg.detector.mesh = mesh;
+    cfg.detector.feature = Feature::Vco;
+    cfg.localizer.mesh = mesh;
+    cfg.localizer.feature = Feature::Boc;
+    return cfg;
+  }
+};
+
+/// Output of one detection/localization round on one monitoring window.
+struct RoundResult {
+  bool detected = false;       ///< detector verdict; everything below empty if false
+  float probability = 0.0F;    ///< detector sigmoid output
+  FusionResult fusion;         ///< MFF over the segmented frames
+  std::vector<NodeId> victims; ///< fused victims, VCE-completed if enabled
+  TlmResult tlm;               ///< attackers and target victims
+};
+
+class Dl2Fence {
+ public:
+  explicit Dl2Fence(const Dl2FenceConfig& cfg);
+
+  [[nodiscard]] const Dl2FenceConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] DoSDetector& detector() noexcept { return detector_; }
+  [[nodiscard]] DoSLocalizer& localizer() noexcept { return localizer_; }
+  [[nodiscard]] const monitor::FrameGeometry& geometry() const noexcept { return geom_; }
+
+  /// Run the full round on one monitoring window.
+  [[nodiscard]] RoundResult process(const monitor::FrameSample& sample);
+
+  /// Localization only (used when scoring the localizer independently of
+  /// detector verdicts, as the per-feature Tables 1-2 do).
+  [[nodiscard]] RoundResult localize(const monitor::FrameSample& sample);
+
+ private:
+  Dl2FenceConfig cfg_;
+  monitor::FrameGeometry geom_;
+  DoSDetector detector_;
+  DoSLocalizer localizer_;
+};
+
+}  // namespace dl2f::core

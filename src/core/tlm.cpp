@@ -1,0 +1,147 @@
+#include "core/tlm.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dl2f::core {
+
+namespace {
+
+/// Victim node ids whose direction-`d` input port is flagged.
+std::vector<NodeId> victims_of_direction(const monitor::FrameGeometry& geom, Direction d,
+                                         const Frame& seg_binary) {
+  std::vector<NodeId> ids;
+  for (std::int32_t r = 0; r < seg_binary.rows(); ++r) {
+    for (std::int32_t c = 0; c < seg_binary.cols(); ++c) {
+      if (seg_binary.at(r, c) <= 0.0F) continue;
+      const Coord coord = geom.to_coord(d, monitor::FramePos{r, c});
+      ids.push_back(geom.mesh().id_of(coord));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void sort_unique(std::vector<NodeId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+TlmResult tlm_formula_attackers(const monitor::FrameGeometry& geom,
+                                const monitor::DirectionalFrames& seg_binary) {
+  const MeshShape& mesh = geom.mesh();
+  TlmResult result;
+
+  std::array<std::vector<NodeId>, kNumMeshDirections> sets;
+  for (Direction d : kMeshDirections) {
+    sets[static_cast<std::size_t>(d)] =
+        victims_of_direction(geom, d, monitor::frame_of(seg_binary, d));
+  }
+  const auto& east = sets[static_cast<std::size_t>(Direction::East)];
+  const auto& north = sets[static_cast<std::size_t>(Direction::North)];
+  const auto& west = sets[static_cast<std::size_t>(Direction::West)];
+  const auto& south = sets[static_cast<std::size_t>(Direction::South)];
+
+  // Group X-direction victims per row: each row with abnormal E (resp. W)
+  // inputs hosts one X-phase run, whose attacker is Max(E)+1 (Min(W)-1).
+  // The run's turn column (where XY routing switches to the Y dimension)
+  // is the far end of the flow: westernmost for E runs, easternmost for W.
+  std::map<std::int32_t, std::pair<NodeId, NodeId>> east_rows;  // row -> (min,max)
+  std::map<std::int32_t, std::pair<NodeId, NodeId>> west_rows;
+  const auto group_rows = [&](const std::vector<NodeId>& ids, auto& rows) {
+    for (NodeId id : ids) {
+      const Coord c = mesh.coord_of(id);
+      auto [it, fresh] = rows.try_emplace(c.y, std::make_pair(id, id));
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, id);
+        it->second.second = std::max(it->second.second, id);
+      }
+    }
+  };
+  group_rows(east, east_rows);
+  group_rows(west, west_rows);
+
+  std::set<std::int32_t> turn_columns;
+  for (const auto& [row, mm] : east_rows) {
+    (void)row;
+    // Fig. 3, E=1: attacker = Max(E) + 1, one hop further east in-row.
+    const Coord cmax = mesh.coord_of(mm.second);
+    if (cmax.x + 1 < mesh.cols()) result.attackers.push_back(mm.second + 1);
+    turn_columns.insert(mesh.coord_of(mm.first).x);  // flow is westward
+  }
+  for (const auto& [row, mm] : west_rows) {
+    (void)row;
+    // Fig. 3, W=1: attacker = Min(W) - 1.
+    const Coord cmin = mesh.coord_of(mm.first);
+    if (cmin.x - 1 >= 0) result.attackers.push_back(mm.first - 1);
+    turn_columns.insert(mesh.coord_of(mm.second).x);  // flow is eastward
+  }
+
+  // Y-direction runs grouped per column. A run whose column matches an
+  // X-phase turn column is the Y continuation of that attack (the "two
+  // abnormal frames / E & N/S" cells of Fig. 3) and adds no attacker;
+  // otherwise it is a pure-Y attack: N=1 -> Max(N)+R, S=1 -> Min(S)-R.
+  std::map<std::int32_t, std::pair<NodeId, NodeId>> north_cols;
+  std::map<std::int32_t, std::pair<NodeId, NodeId>> south_cols;
+  const auto group_cols = [&](const std::vector<NodeId>& ids, auto& cols) {
+    for (NodeId id : ids) {
+      const Coord c = mesh.coord_of(id);
+      auto [it, fresh] = cols.try_emplace(c.x, std::make_pair(id, id));
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, id);
+        it->second.second = std::max(it->second.second, id);
+      }
+    }
+  };
+  group_cols(north, north_cols);
+  group_cols(south, south_cols);
+
+  for (const auto& [col, mm] : north_cols) {
+    if (turn_columns.count(col) != 0) continue;
+    const Coord cmax = mesh.coord_of(mm.second);
+    if (cmax.y + 1 < mesh.rows()) result.attackers.push_back(mm.second + mesh.cols());
+  }
+  for (const auto& [col, mm] : south_cols) {
+    if (turn_columns.count(col) != 0) continue;
+    const Coord cmin = mesh.coord_of(mm.first);
+    if (cmin.y - 1 >= 0) result.attackers.push_back(mm.first - mesh.cols());
+  }
+
+  sort_unique(result.attackers);
+  return result;
+}
+
+TlmResult trace_attackers(const monitor::FrameGeometry& geom,
+                          const monitor::DirectionalFrames& seg_binary) {
+  const MeshShape& mesh = geom.mesh();
+  std::set<NodeId> froms;
+  std::set<NodeId> tos;
+
+  for (Direction d : kMeshDirections) {
+    const Frame& f = monitor::frame_of(seg_binary, d);
+    for (std::int32_t r = 0; r < f.rows(); ++r) {
+      for (std::int32_t c = 0; c < f.cols(); ++c) {
+        if (f.at(r, c) <= 0.0F) continue;
+        const Coord to = geom.to_coord(d, monitor::FramePos{r, c});
+        const auto from = mesh.neighbor(to, d);
+        if (!from) continue;  // structural impossibility; defensive
+        froms.insert(mesh.id_of(*from));
+        tos.insert(mesh.id_of(to));
+      }
+    }
+  }
+
+  TlmResult result;
+  for (NodeId n : froms) {
+    if (tos.count(n) == 0) result.attackers.push_back(n);
+  }
+  for (NodeId n : tos) {
+    if (froms.count(n) == 0) result.target_victims.push_back(n);
+  }
+  return result;
+}
+
+}  // namespace dl2f::core

@@ -1,0 +1,42 @@
+#include "core/vce.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "noc/mesh.hpp"
+
+namespace dl2f::core {
+
+std::vector<NodeId> victim_complementing_enhancement(const MeshShape& mesh, const TlmResult& tlm,
+                                                     std::vector<NodeId> victims) {
+  std::set<NodeId> out(victims.begin(), victims.end());
+
+  for (NodeId attacker : tlm.attackers) {
+    if (!mesh.valid(attacker)) continue;
+    // Pair the attacker with the target victim whose XY route overlaps the
+    // currently known victims the most; ignore pairs with no overlap at
+    // all (they would fabricate a route no evidence supports).
+    const NodeId* best_target = nullptr;
+    std::size_t best_overlap = 0;
+    for (const NodeId& target : tlm.target_victims) {
+      if (!mesh.valid(target) || target == attacker) continue;
+      const auto path = noc::xy_route_path(mesh, attacker, target);
+      std::size_t overlap = 0;
+      for (NodeId n : path) overlap += out.count(n);
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best_target = &target;
+      }
+    }
+    if (best_target == nullptr) continue;
+
+    // Pseudo-source: the attacker's first hop (Get_SRC in Algorithm 1) —
+    // the attacker node itself is not a victim, everything downstream is.
+    const auto path = noc::xy_route_path(mesh, attacker, *best_target);
+    for (std::size_t i = 1; i < path.size(); ++i) out.insert(path[i]);
+  }
+
+  return {out.begin(), out.end()};
+}
+
+}  // namespace dl2f::core

@@ -1,0 +1,25 @@
+// Victim Complementing Enhancement (VCE, Algorithm 1 lines 9-13).
+//
+// Configurable refinement: once TLM has produced attacker candidates and
+// the flow graph has produced target victims, the full routing-path-victim
+// set between each (attacker, target) pair is deduced by re-running XY
+// routing from a pseudo-source adjacent to the attacker to the target.
+// This repairs holes that imperfect segmentation left in the fused victim
+// mask — it helps exactly when the initial detection phase was accurate
+// enough to identify the endpoints (§3.3).
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "core/tlm.hpp"
+
+namespace dl2f::core {
+
+/// Returns `victims` augmented with every node on the XY route from each
+/// attacker's first hop (the pseudo-source) to each target victim whose
+/// route plausibly passes through existing victims. Sorted, deduplicated.
+[[nodiscard]] std::vector<NodeId> victim_complementing_enhancement(
+    const MeshShape& mesh, const TlmResult& tlm, std::vector<NodeId> victims);
+
+}  // namespace dl2f::core

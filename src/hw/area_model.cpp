@@ -1,0 +1,75 @@
+#include "hw/area_model.hpp"
+
+namespace dl2f::hw {
+
+double router_area_ge(const RouterAreaParams& p, const GateCosts& g) {
+  // Input buffers dominate a VC router: one flip-flop-based FIFO per VC.
+  const double buffer_bits =
+      static_cast<double>(p.ports) * p.vcs_per_port * p.vc_depth * p.flit_bits;
+  const double buffers = buffer_bits * g.ff_per_bit;
+
+  // Crossbar: per output, a ports-wide mux tree across the flit width.
+  const double crossbar =
+      static_cast<double>(p.ports) * p.ports * p.flit_bits * g.mux_per_bit;
+
+  // VC + switch allocators: arbitration cells across (port, vc) pairs.
+  const double alloc_cells = static_cast<double>(p.ports) * p.vcs_per_port * p.ports *
+                             p.vcs_per_port / static_cast<double>(p.vcs_per_port);
+  const double allocators = alloc_cells * g.lut_logic * 4.0;
+
+  // Route computation: a comparator pair per input VC.
+  const double route_comp = static_cast<double>(p.ports) * p.vcs_per_port * 50.0;
+
+  return buffers + crossbar + allocators + route_comp;
+}
+
+double network_interface_area_ge(const RouterAreaParams& p, const GateCosts& g) {
+  // Two staging flit registers plus flitization / reassembly control.
+  const double staging = 2.0 * p.flit_bits * g.ff_per_bit;
+  const double control = 400.0 * g.lut_logic;
+  return staging + control;
+}
+
+double noc_area_ge(const MeshShape& mesh, const RouterAreaParams& p, const GateCosts& g) {
+  const auto nodes = static_cast<double>(mesh.node_count());
+  // Mesh links: 2*R*(R-1) bidirectional channels with repeater/pipeline
+  // registers on each direction.
+  const auto link_count = 2.0 * (static_cast<double>(mesh.rows()) * (mesh.cols() - 1) +
+                                 static_cast<double>(mesh.cols()) * (mesh.rows() - 1));
+  const double links = link_count * p.flit_bits * 1.0;
+  return nodes * (router_area_ge(p, g) + network_interface_area_ge(p, g)) + links;
+}
+
+std::int32_t default_weight_count() {
+  // Detector (16x16 mesh, frames 16x15):
+  //   Conv2D 4->8, 3x3: 4*8*9 + 8        = 296
+  //   Dense (8 * 7 * 6) -> 1: 336 + 1    = 337
+  // Localizer:
+  //   Conv2D 1->8, 3x3 same: 72 + 8      = 80
+  //   Conv2D 8->8, 3x3 same: 576 + 8     = 584
+  //   Conv2D 8->1, 3x3 same: 72 + 1      = 73
+  return 296 + 337 + 80 + 584 + 73;  // = 1370 scalars for both accelerators
+}
+
+double accelerator_area_ge(const AcceleratorParams& p, const GateCosts& g) {
+  const std::int32_t weights = p.weight_count > 0 ? p.weight_count : default_weight_count();
+
+  const double macs = static_cast<double>(p.conv_kernel_units) * p.kernel_size * p.kernel_size *
+                      g.mac16;
+  const double weight_sram = static_cast<double>(weights) * p.weight_bits * g.sram_per_bit;
+  const double line_buffer =
+      static_cast<double>(p.line_buffer_pixels) * p.pixel_bits * g.ff_per_bit;
+  const double channel_buffer =
+      static_cast<double>(p.channel_buffer_pixels) * p.pixel_bits * g.sram_per_bit;
+  const double post_units = static_cast<double>(p.conv_kernel_units) * p.post_unit_ge;
+
+  const double datapath = macs + weight_sram + line_buffer + channel_buffer + post_units;
+  return datapath * (1.0 + p.control_overhead);
+}
+
+double overhead_percent(const MeshShape& mesh, const RouterAreaParams& router,
+                        const AcceleratorParams& acc, const GateCosts& g) {
+  return accelerator_area_ge(acc, g) / noc_area_ge(mesh, router, g) * 100.0;
+}
+
+}  // namespace dl2f::hw

@@ -1,0 +1,90 @@
+// Analytic hardware-area model (substitute for ProNoC RTL synthesis,
+// DESIGN.md §2).
+//
+// Everything is expressed in NAND2 gate equivalents (GE), the standard
+// technology-neutral unit. The model has two halves:
+//
+//  * NoC area — routers (input buffers, crossbar, allocators, route
+//    computation), network interfaces and links, scaling with the node
+//    count. This matches the paper's synthesis target: "a complete NoC,
+//    comprising only routers, network interfaces and links, excluding SoC
+//    tiles".
+//
+//  * DL2Fence accelerator area — the two CNN accelerators built with
+//    "three convolutional kernels in a pipeline architecture" (§5.3):
+//    MAC arrays, weight SRAM sized from the actual model parameter
+//    counts, line buffers and control. This block is FIXED-SIZE: it is
+//    instantiated once globally, not per router — which is the entire
+//    scalability argument of Fig. 5: overhead(R) ~ A_acc / (R^2 * A_rtr).
+//
+// GE coefficients are conventional textbook figures (flip-flop ~6 GE,
+// SRAM bit ~1.5 GE, 16-bit MAC ~1000 GE, 2:1 mux bit ~2.5 GE); they are
+// exposed as parameters so the calibration is inspectable rather than
+// hidden. With the defaults the model lands on the paper's published
+// points (7.4% / 1.9% / 0.45% / 0.11% for 4x4 / 8x8 / 16x16 / 32x32).
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.hpp"
+
+namespace dl2f::hw {
+
+/// Technology coefficients in NAND2 gate equivalents.
+struct GateCosts {
+  double ff_per_bit = 6.0;       ///< flip-flop storage (router buffers)
+  double sram_per_bit = 1.5;     ///< dense SRAM (accelerator weights)
+  double mac16 = 1000.0;         ///< 16-bit multiply-accumulate unit
+  double mux_per_bit = 2.5;      ///< crossbar 2:1 mux tree per bit per port pair
+  double lut_logic = 8.0;        ///< misc combinational logic per "LUT-sized" cell
+};
+
+/// One 5-port VC wormhole router, ProNoC-like.
+struct RouterAreaParams {
+  std::int32_t ports = 5;
+  std::int32_t vcs_per_port = 4;
+  std::int32_t vc_depth = 4;
+  std::int32_t flit_bits = 128;
+};
+
+[[nodiscard]] double router_area_ge(const RouterAreaParams& p, const GateCosts& g);
+
+/// Network interface (flitization, source queue control) per node.
+[[nodiscard]] double network_interface_area_ge(const RouterAreaParams& p, const GateCosts& g);
+
+/// Whole NoC: routers + NIs + link repeaters, for an R x R mesh.
+[[nodiscard]] double noc_area_ge(const MeshShape& mesh, const RouterAreaParams& p,
+                                 const GateCosts& g);
+
+/// The two DL2Fence CNN accelerators (detector + localizer).
+struct AcceleratorParams {
+  std::int32_t conv_kernel_units = 3;   ///< pipelined 3x3 kernel engines (§5.3)
+  std::int32_t kernel_size = 3;
+  std::int32_t weight_count = 0;        ///< total scalar weights of both models;
+                                        ///< 0 = use the 16x16 paper architectures
+  std::int32_t weight_bits = 16;
+  std::int32_t line_buffer_pixels = 16 * 4;  ///< input staging for 4 directional frames
+  std::int32_t channel_buffer_pixels = 8 * 3 * 16;  ///< 8-ch x 3-line intermediate staging
+  std::int32_t pixel_bits = 16;
+  double post_unit_ge = 800.0;          ///< ReLU/pool/sigmoid/binarize unit per kernel engine
+  double control_overhead = 0.18;       ///< FSM/addressing as a fraction of datapath
+};
+
+/// Scalar parameter count of the paper's 16x16 detector + localizer
+/// (conv weights + biases + dense), used when weight_count == 0.
+[[nodiscard]] std::int32_t default_weight_count();
+
+[[nodiscard]] double accelerator_area_ge(const AcceleratorParams& p, const GateCosts& g);
+
+/// Fig. 5: accelerator area as a percentage of the NoC area at mesh size R.
+[[nodiscard]] double overhead_percent(const MeshShape& mesh,
+                                      const RouterAreaParams& router = {},
+                                      const AcceleratorParams& acc = {},
+                                      const GateCosts& g = {});
+
+/// Table 4 comparison constants: published per-router overheads of the
+/// distributed schemes (constant w.r.t. NoC scale).
+inline constexpr double kSnifferOverheadPercent = 3.3;  ///< perceptron-based [2]
+inline constexpr double kSvmOverheadPercent = 9.0;      ///< SVM/router [13]
+
+}  // namespace dl2f::hw

@@ -1,0 +1,55 @@
+#include "monitor/benchmark.hpp"
+
+namespace dl2f::monitor {
+
+std::string Benchmark::name() const {
+  if (const auto* stp = std::get_if<traffic::SyntheticPattern>(&kind)) {
+    return std::string(traffic::to_string(*stp));
+  }
+  return std::string(traffic::to_string(std::get<traffic::ParsecWorkload>(kind)));
+}
+
+double Benchmark::stp_injection_rate() const noexcept {
+  if (const auto* stp = std::get_if<traffic::SyntheticPattern>(&kind)) {
+    switch (*stp) {
+      case traffic::SyntheticPattern::UniformRandom: return 0.020;
+      case traffic::SyntheticPattern::Tornado: return 0.010;
+      case traffic::SyntheticPattern::Shuffle: return 0.015;
+      case traffic::SyntheticPattern::Neighbor: return 0.030;
+      case traffic::SyntheticPattern::BitRotation: return 0.015;
+      case traffic::SyntheticPattern::BitComplement: return 0.010;
+    }
+  }
+  return 0.0;
+}
+
+std::int64_t Benchmark::sample_period() const noexcept { return is_parsec() ? 2000 : 1000; }
+
+std::unique_ptr<traffic::TrafficGenerator> Benchmark::make_generator(const MeshShape& shape,
+                                                                     std::uint64_t seed) const {
+  if (const auto* stp = std::get_if<traffic::SyntheticPattern>(&kind)) {
+    return std::make_unique<traffic::SyntheticTraffic>(*stp, stp_injection_rate(), seed);
+  }
+  return std::make_unique<traffic::ParsecTraffic>(std::get<traffic::ParsecWorkload>(kind), shape,
+                                                  seed);
+}
+
+std::vector<Benchmark> stp_benchmarks() {
+  std::vector<Benchmark> out;
+  for (auto p : traffic::kAllSyntheticPatterns) out.push_back(Benchmark{p});
+  return out;
+}
+
+std::vector<Benchmark> parsec_benchmarks() {
+  std::vector<Benchmark> out;
+  for (auto w : traffic::kAllParsecWorkloads) out.push_back(Benchmark{w});
+  return out;
+}
+
+std::vector<Benchmark> all_benchmarks() {
+  auto out = stp_benchmarks();
+  for (auto& b : parsec_benchmarks()) out.push_back(b);
+  return out;
+}
+
+}  // namespace dl2f::monitor

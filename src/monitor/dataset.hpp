@@ -1,0 +1,74 @@
+// Labeled feature-frame datasets: what the CNNs train and evaluate on.
+//
+// One FrameSample is one monitoring window: the four directional VCO
+// frames (instantaneous, sampled at the window end), the four directional
+// BOC frames (accumulated over the window), the attack label, and —
+// for attack windows — the ground-truth segmentation masks derived from
+// the scenario's XY flooding routes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/benchmark.hpp"
+#include "monitor/sampler.hpp"
+#include "traffic/fdos.hpp"
+
+namespace dl2f::monitor {
+
+struct FrameSample {
+  DirectionalFrames vco;
+  DirectionalFrames boc;
+  bool under_attack = false;
+
+  /// Per-direction binary masks of input ports on a flooding route
+  /// (all-zero when benign). Segmentation ground truth.
+  DirectionalFrames port_truth;
+  /// Ground-truth victim node ids (routing-path victims + target victim).
+  std::vector<NodeId> victim_truth;
+  /// The scenario that produced this sample (attackers empty when benign).
+  traffic::AttackScenario scenario;
+};
+
+struct Dataset {
+  MeshShape mesh = MeshShape::square(16);
+  std::vector<FrameSample> samples;
+
+  [[nodiscard]] std::size_t attack_count() const noexcept;
+  [[nodiscard]] std::size_t benign_count() const noexcept;
+};
+
+struct DatasetConfig {
+  MeshShape mesh = MeshShape::square(16);
+  noc::RouterConfig router;
+  /// Scenarios simulated per benchmark (paper: 18 per benchmark at FIR
+  /// 0.8, split between 1- and 2-attacker cases).
+  std::int32_t scenarios_per_benchmark = 18;
+  double fir = 0.8;
+  std::int64_t warmup_cycles = 1500;       ///< benign-only settling time
+  std::int64_t attack_ramp_cycles = 1000;  ///< settle time after enabling FDoS
+  std::int32_t benign_samples_per_run = 4;
+  std::int32_t attack_samples_per_run = 4;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Simulate every scenario of every requested benchmark and emit labeled
+/// samples. Each run: warmup -> benign windows -> enable FDoS -> ramp ->
+/// attack windows; BOC counters reset at each window boundary.
+[[nodiscard]] Dataset generate_dataset(const DatasetConfig& cfg,
+                                       const std::vector<Benchmark>& benchmarks);
+
+/// Build the per-direction ground-truth port masks for a scenario.
+[[nodiscard]] DirectionalFrames ground_truth_masks(const FrameGeometry& geom,
+                                                   const traffic::AttackScenario& scenario);
+
+/// Deterministically split a dataset into train/test parts (stratified by
+/// label) with the given test fraction.
+struct DatasetSplit {
+  Dataset train;
+  Dataset test;
+};
+[[nodiscard]] DatasetSplit split_dataset(const Dataset& data, double test_fraction,
+                                         std::uint64_t seed);
+
+}  // namespace dl2f::monitor

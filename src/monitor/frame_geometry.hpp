@@ -1,0 +1,67 @@
+// Mapping between router coordinates and directional feature-frame pixels.
+//
+// Routers on a mesh edge lack the input port facing outward, so for every
+// direction exactly R x (R-1) input ports exist on an R x R mesh — the
+// paper's "the feature frame always forms an R x (R-1) matrix". East/West
+// frames drop one column; North/South frames drop one row and are stored
+// transposed so that all four directional frames share the same canonical
+// R x (R-1) shape expected by the CNN input layer.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/frame.hpp"
+#include "common/geometry.hpp"
+
+namespace dl2f::monitor {
+
+struct FramePos {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  friend constexpr bool operator==(const FramePos&, const FramePos&) = default;
+};
+
+class FrameGeometry {
+ public:
+  explicit FrameGeometry(const MeshShape& mesh) : mesh_(mesh) {}
+
+  [[nodiscard]] const MeshShape& mesh() const noexcept { return mesh_; }
+
+  [[nodiscard]] std::int32_t frame_rows() const noexcept { return mesh_.rows(); }
+  [[nodiscard]] std::int32_t frame_cols() const noexcept { return mesh_.cols() - 1; }
+
+  /// Pixel of router `c`'s input port facing `d`, or nullopt when the
+  /// router has no such port (mesh edge).
+  [[nodiscard]] std::optional<FramePos> to_frame(Direction d, Coord c) const noexcept {
+    if (!mesh_.has_port(c, d) || d == Direction::Local) return std::nullopt;
+    switch (d) {
+      case Direction::East: return FramePos{c.y, c.x};       // x <= cols-2
+      case Direction::West: return FramePos{c.y, c.x - 1};   // x >= 1
+      case Direction::North: return FramePos{c.x, c.y};      // transposed, y <= rows-2
+      case Direction::South: return FramePos{c.x, c.y - 1};  // transposed, y >= 1
+      case Direction::Local: break;
+    }
+    return std::nullopt;
+  }
+
+  /// Inverse of to_frame: which router owns pixel (row, col) of frame `d`.
+  [[nodiscard]] Coord to_coord(Direction d, FramePos p) const noexcept {
+    switch (d) {
+      case Direction::East: return Coord{p.col, p.row};
+      case Direction::West: return Coord{p.col + 1, p.row};
+      case Direction::North: return Coord{p.row, p.col};
+      case Direction::South: return Coord{p.row, p.col + 1};
+      case Direction::Local: break;
+    }
+    return Coord{0, 0};
+  }
+
+  /// An empty (all-zero) frame of the canonical directional shape.
+  [[nodiscard]] Frame make_frame() const { return Frame(frame_rows(), frame_cols()); }
+
+ private:
+  MeshShape mesh_;
+};
+
+}  // namespace dl2f::monitor

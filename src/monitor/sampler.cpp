@@ -1,0 +1,42 @@
+#include "monitor/sampler.hpp"
+
+namespace dl2f::monitor {
+
+DirectionalFrames FeatureSampler::sample_vco(const noc::Mesh& mesh) const {
+  DirectionalFrames frames;
+  for (Direction d : kMeshDirections) frame_of(frames, d) = geom_.make_frame();
+
+  const auto& shape = mesh.shape();
+  for (NodeId id = 0; id < shape.node_count(); ++id) {
+    const Coord c = shape.coord_of(id);
+    const auto& router = mesh.router(id);
+    for (Direction d : kMeshDirections) {
+      const auto pos = geom_.to_frame(d, c);
+      if (!pos) continue;
+      frame_of(frames, d).at(pos->row, pos->col) =
+          static_cast<float>(router.input(d).avg_vc_occupancy(mesh.now()));
+    }
+  }
+  return frames;
+}
+
+DirectionalFrames FeatureSampler::sample_boc(noc::Mesh& mesh, bool reset) const {
+  DirectionalFrames frames;
+  for (Direction d : kMeshDirections) frame_of(frames, d) = geom_.make_frame();
+
+  const auto& shape = mesh.shape();
+  for (NodeId id = 0; id < shape.node_count(); ++id) {
+    const Coord c = shape.coord_of(id);
+    const auto& router = mesh.router(id);
+    for (Direction d : kMeshDirections) {
+      const auto pos = geom_.to_frame(d, c);
+      if (!pos) continue;
+      frame_of(frames, d).at(pos->row, pos->col) =
+          static_cast<float>(router.input(d).telemetry.operations());
+    }
+  }
+  if (reset) mesh.reset_telemetry();
+  return frames;
+}
+
+}  // namespace dl2f::monitor

@@ -1,0 +1,48 @@
+// The global performance monitor: samples VCO and BOC feature frames from
+// every router input port (§5: "We designed a global performance monitor
+// to collect the dataset").
+#pragma once
+
+#include <array>
+
+#include "common/frame.hpp"
+#include "monitor/frame_geometry.hpp"
+#include "noc/mesh.hpp"
+
+namespace dl2f::monitor {
+
+/// One frame per mesh direction, indexed by Direction (E, N, W, S).
+using DirectionalFrames = std::array<Frame, kNumMeshDirections>;
+
+[[nodiscard]] inline Frame& frame_of(DirectionalFrames& f, Direction d) {
+  return f[static_cast<std::size_t>(d)];
+}
+[[nodiscard]] inline const Frame& frame_of(const DirectionalFrames& f, Direction d) {
+  return f[static_cast<std::size_t>(d)];
+}
+
+class FeatureSampler {
+ public:
+  explicit FeatureSampler(const MeshShape& mesh) : geom_(mesh) {}
+
+  [[nodiscard]] const FrameGeometry& geometry() const noexcept { return geom_; }
+
+  /// Virtual-channel occupancy per input port, in [0,1], averaged over the
+  /// current monitoring window (reset together with the BOC counters).
+  /// VCO is float-natured and is used WITHOUT normalization (§4). The
+  /// paper samples instantaneous occupancy from Garnet's 4-5 stage router
+  /// pipeline; our single-cycle router drains VCs faster, so the window
+  /// average restores the same congestion semantics (DESIGN.md §2).
+  [[nodiscard]] DirectionalFrames sample_vco(const noc::Mesh& mesh) const;
+
+  /// Accumulated buffer operation counts (reads + writes) per input port
+  /// since the last telemetry reset. Integer-natured; callers normalize
+  /// before feeding the segmentation model (§4).
+  /// When `reset` is true the counters restart for the next window.
+  [[nodiscard]] DirectionalFrames sample_boc(noc::Mesh& mesh, bool reset = true) const;
+
+ private:
+  FrameGeometry geom_;
+};
+
+}  // namespace dl2f::monitor

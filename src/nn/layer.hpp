@@ -1,0 +1,51 @@
+// Layer interface: forward caches whatever backward needs; backward
+// accumulates parameter gradients (zeroed explicitly by the optimizer
+// between steps) and returns the gradient w.r.t. the layer input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace dl2f::nn {
+
+/// A learnable parameter block (weights or biases) with its gradient.
+struct Param {
+  std::vector<float> value;
+  std::vector<float> grad;
+
+  explicit Param(std::size_t n = 0) : value(n, 0.0F), grad(n, 0.0F) {}
+  [[nodiscard]] std::size_t size() const noexcept { return value.size(); }
+  void zero_grad() { std::fill(grad.begin(), grad.end(), 0.0F); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual Tensor3 forward(const Tensor3& input) = 0;
+  virtual Tensor3 backward(const Tensor3& grad_output) = 0;
+
+  /// Learnable parameter blocks (empty for activations/pooling).
+  [[nodiscard]] virtual std::vector<Param*> params() { return {}; }
+
+  /// Randomize parameters (no-op for parameterless layers).
+  virtual void init_weights(Rng& /*rng*/) {}
+
+  /// Output shape for a given input shape, without running data through.
+  [[nodiscard]] virtual Tensor3 output_shape(const Tensor3& input_shape) const = 0;
+
+  /// Total learnable scalar count.
+  [[nodiscard]] std::size_t param_count() {
+    std::size_t n = 0;
+    for (auto* p : params()) n += p->size();
+    return n;
+  }
+};
+
+}  // namespace dl2f::nn

@@ -1,0 +1,347 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dl2f::nn {
+
+namespace {
+
+/// He-uniform initialization: U(-b, b) with b = sqrt(6 / fan_in); suits the
+/// ReLU-activated convolutions and keeps the tiny models' activations in a
+/// trainable range from the first epoch.
+void he_uniform(std::vector<float>& w, std::size_t fan_in, Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(std::max<std::size_t>(fan_in, 1)));
+  for (float& v : w) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2D
+
+Conv2D::Conv2D(std::int32_t in_channels, std::int32_t out_channels, std::int32_t kernel,
+               Padding padding)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), padding_(padding),
+      pad_(padding == Padding::Same ? (kernel - 1) / 2 : 0),
+      weights_(static_cast<std::size_t>(out_channels * in_channels * kernel * kernel)),
+      bias_(static_cast<std::size_t>(out_channels)) {
+  assert(kernel >= 1 && (padding != Padding::Same || kernel % 2 == 1));
+}
+
+Tensor3 Conv2D::output_shape(const Tensor3& s) const {
+  const auto oh = s.height() + 2 * pad_ - k_ + 1;
+  const auto ow = s.width() + 2 * pad_ - k_ + 1;
+  return Tensor3(out_c_, oh, ow);
+}
+
+void Conv2D::init_weights(Rng& rng) {
+  he_uniform(weights_.value, static_cast<std::size_t>(in_c_ * k_ * k_), rng);
+  std::fill(bias_.value.begin(), bias_.value.end(), 0.0F);
+}
+
+Tensor3 Conv2D::forward(const Tensor3& input) {
+  assert(input.channels() == in_c_);
+  cached_input_ = input;
+  Tensor3 out = output_shape(input);
+  for (std::int32_t o = 0; o < out_c_; ++o) {
+    for (std::int32_t y = 0; y < out.height(); ++y) {
+      for (std::int32_t x = 0; x < out.width(); ++x) {
+        float acc = bias_.value[static_cast<std::size_t>(o)];
+        for (std::int32_t i = 0; i < in_c_; ++i) {
+          for (std::int32_t dy = 0; dy < k_; ++dy) {
+            const std::int32_t iy = y + dy - pad_;
+            if (iy < 0 || iy >= input.height()) continue;
+            for (std::int32_t dx = 0; dx < k_; ++dx) {
+              const std::int32_t ix = x + dx - pad_;
+              if (ix < 0 || ix >= input.width()) continue;
+              acc += w(o, i, dy, dx) * input.at(i, iy, ix);
+            }
+          }
+        }
+        out.at(o, y, x) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3 Conv2D::backward(const Tensor3& grad_out) {
+  const Tensor3& in = cached_input_;
+  Tensor3 grad_in(in.channels(), in.height(), in.width());
+  for (std::int32_t o = 0; o < out_c_; ++o) {
+    for (std::int32_t y = 0; y < grad_out.height(); ++y) {
+      for (std::int32_t x = 0; x < grad_out.width(); ++x) {
+        const float g = grad_out.at(o, y, x);
+        if (g == 0.0F) continue;
+        bias_.grad[static_cast<std::size_t>(o)] += g;
+        for (std::int32_t i = 0; i < in_c_; ++i) {
+          for (std::int32_t dy = 0; dy < k_; ++dy) {
+            const std::int32_t iy = y + dy - pad_;
+            if (iy < 0 || iy >= in.height()) continue;
+            for (std::int32_t dx = 0; dx < k_; ++dx) {
+              const std::int32_t ix = x + dx - pad_;
+              if (ix < 0 || ix >= in.width()) continue;
+              gw(o, i, dy, dx) += g * in.at(i, iy, ix);
+              grad_in.at(i, iy, ix) += g * w(o, i, dy, dx);
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------- MaxPool2D
+
+Tensor3 MaxPool2D::output_shape(const Tensor3& s) const {
+  return Tensor3(s.channels(), s.height() / pool_, s.width() / pool_);
+}
+
+Tensor3 MaxPool2D::forward(const Tensor3& input) {
+  cached_input_shape_ = Tensor3(input.channels(), input.height(), input.width());
+  Tensor3 out = output_shape(input);
+  argmax_.assign(out.size(), -1);
+  std::size_t idx = 0;
+  for (std::int32_t c = 0; c < out.channels(); ++c) {
+    for (std::int32_t y = 0; y < out.height(); ++y) {
+      for (std::int32_t x = 0; x < out.width(); ++x, ++idx) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int32_t best_flat = -1;
+        for (std::int32_t dy = 0; dy < pool_; ++dy) {
+          for (std::int32_t dx = 0; dx < pool_; ++dx) {
+            const std::int32_t iy = y * pool_ + dy;
+            const std::int32_t ix = x * pool_ + dx;
+            const float v = input.at(c, iy, ix);
+            if (v > best) {
+              best = v;
+              best_flat = (c * input.height() + iy) * input.width() + ix;
+            }
+          }
+        }
+        out.at(c, y, x) = best;
+        argmax_[idx] = best_flat;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3 MaxPool2D::backward(const Tensor3& grad_out) {
+  Tensor3 grad_in(cached_input_shape_.channels(), cached_input_shape_.height(),
+                  cached_input_shape_.width());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in.data()[static_cast<std::size_t>(argmax_[i])] += grad_out.data()[i];
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor3 ReLU::forward(const Tensor3& input) {
+  cached_input_ = input;
+  Tensor3 out = input;
+  for (float& v : out.data()) v = std::max(v, 0.0F);
+  return out;
+}
+
+Tensor3 ReLU::backward(const Tensor3& grad_out) {
+  Tensor3 grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (cached_input_.data()[i] <= 0.0F) grad_in.data()[i] = 0.0F;
+  }
+  return grad_in;
+}
+
+// --------------------------------------------------------------- Sigmoid
+
+Tensor3 Sigmoid::forward(const Tensor3& input) {
+  Tensor3 out = input;
+  for (float& v : out.data()) v = 1.0F / (1.0F + std::exp(-v));
+  cached_output_ = out;
+  return out;
+}
+
+Tensor3 Sigmoid::backward(const Tensor3& grad_out) {
+  Tensor3 grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    const float s = cached_output_.data()[i];
+    grad_in.data()[i] *= s * (1.0F - s);
+  }
+  return grad_in;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor3 Flatten::forward(const Tensor3& input) {
+  c_ = input.channels();
+  h_ = input.height();
+  w_ = input.width();
+  Tensor3 out(c_ * h_ * w_, 1, 1);
+  out.data() = input.data();
+  return out;
+}
+
+Tensor3 Flatten::backward(const Tensor3& grad_out) {
+  Tensor3 grad_in(c_, h_, w_);
+  grad_in.data() = grad_out.data();
+  return grad_in;
+}
+
+// ----------------------------------------------------------------- Dense
+
+Dense::Dense(std::int32_t in_features, std::int32_t out_features)
+    : in_f_(in_features), out_f_(out_features),
+      weights_(static_cast<std::size_t>(in_features * out_features)),
+      bias_(static_cast<std::size_t>(out_features)) {}
+
+Tensor3 Dense::output_shape(const Tensor3&) const { return Tensor3(out_f_, 1, 1); }
+
+void Dense::init_weights(Rng& rng) {
+  he_uniform(weights_.value, static_cast<std::size_t>(in_f_), rng);
+  std::fill(bias_.value.begin(), bias_.value.end(), 0.0F);
+}
+
+Tensor3 Dense::forward(const Tensor3& input) {
+  assert(static_cast<std::int32_t>(input.size()) == in_f_);
+  cached_input_ = input;
+  Tensor3 out(out_f_, 1, 1);
+  for (std::int32_t o = 0; o < out_f_; ++o) {
+    float acc = bias_.value[static_cast<std::size_t>(o)];
+    const auto row = static_cast<std::size_t>(o * in_f_);
+    for (std::int32_t i = 0; i < in_f_; ++i) {
+      acc += weights_.value[row + static_cast<std::size_t>(i)] *
+             input.data()[static_cast<std::size_t>(i)];
+    }
+    out.data()[static_cast<std::size_t>(o)] = acc;
+  }
+  return out;
+}
+
+Tensor3 Dense::backward(const Tensor3& grad_out) {
+  Tensor3 grad_in(cached_input_.channels(), cached_input_.height(), cached_input_.width());
+  for (std::int32_t o = 0; o < out_f_; ++o) {
+    const float g = grad_out.data()[static_cast<std::size_t>(o)];
+    bias_.grad[static_cast<std::size_t>(o)] += g;
+    const auto row = static_cast<std::size_t>(o * in_f_);
+    for (std::int32_t i = 0; i < in_f_; ++i) {
+      weights_.grad[row + static_cast<std::size_t>(i)] +=
+          g * cached_input_.data()[static_cast<std::size_t>(i)];
+      grad_in.data()[static_cast<std::size_t>(i)] +=
+          g * weights_.value[row + static_cast<std::size_t>(i)];
+    }
+  }
+  return grad_in;
+}
+
+// --------------------------------------------- DepthwiseSeparableConv2D
+
+DepthwiseSeparableConv2D::DepthwiseSeparableConv2D(std::int32_t in_channels,
+                                                   std::int32_t out_channels, std::int32_t kernel)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), pad_((kernel - 1) / 2),
+      depth_weights_(static_cast<std::size_t>(in_channels * kernel * kernel)),
+      point_weights_(static_cast<std::size_t>(out_channels * in_channels)),
+      bias_(static_cast<std::size_t>(out_channels)) {
+  assert(kernel % 2 == 1);
+}
+
+Tensor3 DepthwiseSeparableConv2D::output_shape(const Tensor3& s) const {
+  return Tensor3(out_c_, s.height(), s.width());
+}
+
+void DepthwiseSeparableConv2D::init_weights(Rng& rng) {
+  he_uniform(depth_weights_.value, static_cast<std::size_t>(k_ * k_), rng);
+  he_uniform(point_weights_.value, static_cast<std::size_t>(in_c_), rng);
+  std::fill(bias_.value.begin(), bias_.value.end(), 0.0F);
+}
+
+Tensor3 DepthwiseSeparableConv2D::forward(const Tensor3& input) {
+  assert(input.channels() == in_c_);
+  cached_input_ = input;
+
+  // Depthwise: each input channel convolved with its own k x k filter.
+  Tensor3 depth(in_c_, input.height(), input.width());
+  for (std::int32_t c = 0; c < in_c_; ++c) {
+    for (std::int32_t y = 0; y < input.height(); ++y) {
+      for (std::int32_t x = 0; x < input.width(); ++x) {
+        float acc = 0.0F;
+        for (std::int32_t dy = 0; dy < k_; ++dy) {
+          const std::int32_t iy = y + dy - pad_;
+          if (iy < 0 || iy >= input.height()) continue;
+          for (std::int32_t dx = 0; dx < k_; ++dx) {
+            const std::int32_t ix = x + dx - pad_;
+            if (ix < 0 || ix >= input.width()) continue;
+            acc += depth_weights_.value[static_cast<std::size_t>((c * k_ + dy) * k_ + dx)] *
+                   input.at(c, iy, ix);
+          }
+        }
+        depth.at(c, y, x) = acc;
+      }
+    }
+  }
+  cached_depth_out_ = depth;
+
+  // Pointwise: 1x1 channel mix.
+  Tensor3 out(out_c_, input.height(), input.width());
+  for (std::int32_t o = 0; o < out_c_; ++o) {
+    for (std::int32_t y = 0; y < out.height(); ++y) {
+      for (std::int32_t x = 0; x < out.width(); ++x) {
+        float acc = bias_.value[static_cast<std::size_t>(o)];
+        for (std::int32_t c = 0; c < in_c_; ++c) {
+          acc += point_weights_.value[static_cast<std::size_t>(o * in_c_ + c)] * depth.at(c, y, x);
+        }
+        out.at(o, y, x) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3 DepthwiseSeparableConv2D::backward(const Tensor3& grad_out) {
+  const Tensor3& in = cached_input_;
+  Tensor3 grad_depth(in_c_, in.height(), in.width());
+
+  // Pointwise backward.
+  for (std::int32_t o = 0; o < out_c_; ++o) {
+    for (std::int32_t y = 0; y < grad_out.height(); ++y) {
+      for (std::int32_t x = 0; x < grad_out.width(); ++x) {
+        const float g = grad_out.at(o, y, x);
+        if (g == 0.0F) continue;
+        bias_.grad[static_cast<std::size_t>(o)] += g;
+        for (std::int32_t c = 0; c < in_c_; ++c) {
+          point_weights_.grad[static_cast<std::size_t>(o * in_c_ + c)] +=
+              g * cached_depth_out_.at(c, y, x);
+          grad_depth.at(c, y, x) +=
+              g * point_weights_.value[static_cast<std::size_t>(o * in_c_ + c)];
+        }
+      }
+    }
+  }
+
+  // Depthwise backward.
+  Tensor3 grad_in(in_c_, in.height(), in.width());
+  for (std::int32_t c = 0; c < in_c_; ++c) {
+    for (std::int32_t y = 0; y < in.height(); ++y) {
+      for (std::int32_t x = 0; x < in.width(); ++x) {
+        const float g = grad_depth.at(c, y, x);
+        if (g == 0.0F) continue;
+        for (std::int32_t dy = 0; dy < k_; ++dy) {
+          const std::int32_t iy = y + dy - pad_;
+          if (iy < 0 || iy >= in.height()) continue;
+          for (std::int32_t dx = 0; dx < k_; ++dx) {
+            const std::int32_t ix = x + dx - pad_;
+            if (ix < 0 || ix >= in.width()) continue;
+            depth_weights_.grad[static_cast<std::size_t>((c * k_ + dy) * k_ + dx)] +=
+                g * in.at(c, iy, ix);
+            grad_in.at(c, iy, ix) +=
+                g * depth_weights_.value[static_cast<std::size_t>((c * k_ + dy) * k_ + dx)];
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace dl2f::nn

@@ -1,0 +1,140 @@
+// The concrete layers DL2Fence's two models are built from (Fig. 2), plus
+// the depthwise-separable convolution used by the paper's MobileNet
+// extension hook for >32x32 NoCs (§6).
+//
+// All convolutions are stride-1; Padding::Valid shrinks by k-1 per side
+// pair (the detector), Padding::Same preserves H x W (the localizer).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dl2f::nn {
+
+enum class Padding : std::uint8_t { Valid, Same };
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::int32_t in_channels, std::int32_t out_channels, std::int32_t kernel,
+         Padding padding);
+
+  [[nodiscard]] std::string name() const override { return "Conv2D"; }
+  Tensor3 forward(const Tensor3& input) override;
+  Tensor3 backward(const Tensor3& grad_output) override;
+  [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
+  void init_weights(Rng& rng) override;
+  [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
+
+  [[nodiscard]] std::int32_t kernel() const noexcept { return k_; }
+  [[nodiscard]] std::int32_t in_channels() const noexcept { return in_c_; }
+  [[nodiscard]] std::int32_t out_channels() const noexcept { return out_c_; }
+
+ private:
+  [[nodiscard]] float& w(std::int32_t o, std::int32_t i, std::int32_t dy, std::int32_t dx) {
+    return weights_.value[static_cast<std::size_t>(((o * in_c_ + i) * k_ + dy) * k_ + dx)];
+  }
+  [[nodiscard]] float& gw(std::int32_t o, std::int32_t i, std::int32_t dy, std::int32_t dx) {
+    return weights_.grad[static_cast<std::size_t>(((o * in_c_ + i) * k_ + dy) * k_ + dx)];
+  }
+
+  std::int32_t in_c_, out_c_, k_;
+  Padding padding_;
+  std::int32_t pad_;  ///< zero-padding per side (0 for Valid, (k-1)/2 for Same)
+  Param weights_;
+  Param bias_;
+  Tensor3 cached_input_;
+};
+
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(std::int32_t pool) : pool_(pool) { assert(pool >= 1); }
+
+  [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
+  Tensor3 forward(const Tensor3& input) override;
+  Tensor3 backward(const Tensor3& grad_output) override;
+  [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
+
+ private:
+  std::int32_t pool_;
+  Tensor3 cached_input_shape_;
+  std::vector<std::int32_t> argmax_;  ///< flat input index of each output max
+};
+
+class ReLU final : public Layer {
+ public:
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  Tensor3 forward(const Tensor3& input) override;
+  Tensor3 backward(const Tensor3& grad_output) override;
+  [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override { return s; }
+
+ private:
+  Tensor3 cached_input_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+  Tensor3 forward(const Tensor3& input) override;
+  Tensor3 backward(const Tensor3& grad_output) override;
+  [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override { return s; }
+
+ private:
+  Tensor3 cached_output_;
+};
+
+class Flatten final : public Layer {
+ public:
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  Tensor3 forward(const Tensor3& input) override;
+  Tensor3 backward(const Tensor3& grad_output) override;
+  [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override {
+    return Tensor3(s.channels() * s.height() * s.width(), 1, 1);
+  }
+
+ private:
+  std::int32_t c_ = 0, h_ = 0, w_ = 0;
+};
+
+class Dense final : public Layer {
+ public:
+  Dense(std::int32_t in_features, std::int32_t out_features);
+
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+  Tensor3 forward(const Tensor3& input) override;
+  Tensor3 backward(const Tensor3& grad_output) override;
+  [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
+  void init_weights(Rng& rng) override;
+  [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
+
+ private:
+  std::int32_t in_f_, out_f_;
+  Param weights_;  ///< out_f x in_f, row-major
+  Param bias_;
+  Tensor3 cached_input_;
+};
+
+/// Depthwise (k x k per channel) followed by pointwise (1x1) convolution,
+/// Same padding — the MobileNet building block (extension hook, §6).
+class DepthwiseSeparableConv2D final : public Layer {
+ public:
+  DepthwiseSeparableConv2D(std::int32_t in_channels, std::int32_t out_channels,
+                           std::int32_t kernel);
+
+  [[nodiscard]] std::string name() const override { return "DepthwiseSeparableConv2D"; }
+  Tensor3 forward(const Tensor3& input) override;
+  Tensor3 backward(const Tensor3& grad_output) override;
+  [[nodiscard]] std::vector<Param*> params() override {
+    return {&depth_weights_, &point_weights_, &bias_};
+  }
+  void init_weights(Rng& rng) override;
+  [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
+
+ private:
+  std::int32_t in_c_, out_c_, k_, pad_;
+  Param depth_weights_;  ///< in_c x k x k
+  Param point_weights_;  ///< out_c x in_c
+  Param bias_;           ///< out_c
+  Tensor3 cached_input_;
+  Tensor3 cached_depth_out_;
+};
+
+}  // namespace dl2f::nn

@@ -1,0 +1,33 @@
+// Losses: binary cross-entropy for the detector, soft Dice for the
+// localizer ("with feedback from dice accuracy, the model can refine its
+// parameters", §3.2). Each returns the scalar loss and writes the gradient
+// w.r.t. the prediction tensor.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace dl2f::nn {
+
+struct LossResult {
+  float loss = 0.0F;
+  Tensor3 grad;  ///< dLoss/dPrediction, same shape as the prediction
+};
+
+/// Mean binary cross-entropy over all elements. Predictions are sigmoid
+/// outputs in (0,1); values are clamped away from {0,1} for stability.
+/// `positive_weight` scales the loss of target-1 elements — segmentation
+/// masks are heavily class-imbalanced (a flooding route covers <10% of a
+/// 16x15 frame) and an unweighted loss leaves the model in the all-zero
+/// basin for dozens of epochs.
+[[nodiscard]] LossResult bce_loss(const Tensor3& prediction, const Tensor3& target,
+                                  float positive_weight = 1.0F);
+
+/// Soft Dice loss: 1 - (2*sum(p*t) + eps) / (sum(p) + sum(t) + eps).
+[[nodiscard]] LossResult dice_loss(const Tensor3& prediction, const Tensor3& target);
+
+/// Dice coefficient of binarized prediction vs binary target (metric, not
+/// a loss; the paper's "dice accuracy").
+[[nodiscard]] double dice_score(const Tensor3& prediction, const Tensor3& target,
+                                float threshold = 0.5F);
+
+}  // namespace dl2f::nn

@@ -1,0 +1,95 @@
+#include "nn/model.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace dl2f::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x444C3246;  // "DL2F"
+}
+
+Tensor3 Sequential::forward(const Tensor3& input) {
+  Tensor3 t = input;
+  for (auto& l : layers_) t = l->forward(t);
+  return t;
+}
+
+Tensor3 Sequential::backward(const Tensor3& grad_output) {
+  Tensor3 g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::init_weights(Rng& rng) {
+  for (auto& l : layers_) l->init_weights(rng);
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_) {
+    for (auto* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Sequential::param_count() {
+  std::size_t n = 0;
+  for (auto* p : params()) n += p->size();
+  return n;
+}
+
+void Sequential::zero_grad() {
+  for (auto* p : params()) p->zero_grad();
+}
+
+Tensor3 Sequential::output_shape(const Tensor3& input_shape) const {
+  Tensor3 s = input_shape;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+bool Sequential::save(std::ostream& os) {
+  const auto blocks = params();
+  const std::uint32_t magic = kMagic;
+  const auto count = static_cast<std::uint32_t>(blocks.size());
+  os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (auto* p : blocks) {
+    const auto n = static_cast<std::uint64_t>(p->size());
+    os.write(reinterpret_cast<const char*>(&n), sizeof n);
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  return static_cast<bool>(os);
+}
+
+bool Sequential::load(std::istream& is) {
+  std::uint32_t magic = 0, count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  is.read(reinterpret_cast<char*>(&count), sizeof count);
+  const auto blocks = params();
+  if (!is || magic != kMagic || count != blocks.size()) return false;
+  for (auto* p : blocks) {
+    std::uint64_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), sizeof n);
+    if (!is || n != p->size()) return false;
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  return static_cast<bool>(is);
+}
+
+bool Sequential::save_file(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  return f && save(f);
+}
+
+bool Sequential::load_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return f && load(f);
+}
+
+}  // namespace dl2f::nn

@@ -1,0 +1,56 @@
+// Sequential model container with binary weight (de)serialization.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dl2f::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  Tensor3 forward(const Tensor3& input);
+  /// Backprop from the loss gradient at the output; accumulates parameter
+  /// gradients in every layer.
+  Tensor3 backward(const Tensor3& grad_output);
+
+  void init_weights(Rng& rng);
+  [[nodiscard]] std::vector<Param*> params();
+  [[nodiscard]] std::size_t param_count();
+  void zero_grad();
+
+  /// Output shape for a given input shape (shape propagation only).
+  [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const;
+
+  /// Weight serialization: little-endian stream of all parameter blocks in
+  /// layer order, preceded by a magic/count header. The architecture
+  /// itself is code, not data — loading into a mismatched architecture is
+  /// rejected via the scalar-count check.
+  bool save(std::ostream& os);
+  bool load(std::istream& is);
+  bool save_file(const std::string& path);
+  bool load_file(const std::string& path);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace dl2f::nn

@@ -1,0 +1,52 @@
+#include "nn/optimizer.hpp"
+
+namespace dl2f::nn {
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (auto* p : params_) velocity_.emplace_back(p->size(), 0.0F);
+}
+
+void Sgd::step() {
+  for (std::size_t b = 0; b < params_.size(); ++b) {
+    auto& p = *params_[b];
+    auto& v = velocity_[b];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      v[i] = momentum_ * v[i] - lr_ * p.grad[i];
+      p.value[i] += v[i];
+    }
+  }
+  zero_grad();
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.emplace_back(p->size(), 0.0F);
+    v_.emplace_back(p->size(), 0.0F);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const auto t = static_cast<float>(t_);
+  const float bc1 = 1.0F - std::pow(beta1_, t);
+  const float bc2 = 1.0F - std::pow(beta2_, t);
+  for (std::size_t b = 0; b < params_.size(); ++b) {
+    auto& p = *params_[b];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const float g = p.grad[i];
+      m_[b][i] = beta1_ * m_[b][i] + (1.0F - beta1_) * g;
+      v_[b][i] = beta2_ * v_[b][i] + (1.0F - beta2_) * g * g;
+      const float mhat = m_[b][i] / bc1;
+      const float vhat = v_[b][i] / bc2;
+      p.value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  zero_grad();
+}
+
+}  // namespace dl2f::nn

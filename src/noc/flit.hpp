@@ -1,0 +1,51 @@
+// Packets and flits.
+//
+// The simulator models wormhole switching: each packet is serialized into a
+// head flit (carries routing state), zero or more body flits, and a tail
+// flit (releases the virtual channel). Single-flit packets use HeadTail.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.hpp"
+
+namespace dl2f::noc {
+
+/// Simulation time in cycles.
+using Cycle = std::int64_t;
+
+/// Unique packet identifier (monotonic per simulation).
+using PacketId = std::int64_t;
+
+enum class FlitType : std::uint8_t { Head, Body, Tail, HeadTail };
+
+[[nodiscard]] constexpr bool is_head(FlitType t) noexcept {
+  return t == FlitType::Head || t == FlitType::HeadTail;
+}
+[[nodiscard]] constexpr bool is_tail(FlitType t) noexcept {
+  return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+struct Flit {
+  PacketId packet = -1;
+  NodeId src = -1;
+  NodeId dst = -1;
+  FlitType type = FlitType::HeadTail;
+  std::int32_t seq = 0;          ///< position within the packet (0 = head)
+  Cycle created = 0;             ///< cycle the packet was created at the source
+  Cycle injected = 0;            ///< cycle the head left the source queue into the NoC
+  bool malicious = false;        ///< true for FDoS flooding packets (ground truth only)
+};
+
+/// A packet waiting in (or being drained from) a node's source queue.
+struct PendingPacket {
+  PacketId id = -1;
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::int32_t length_flits = 1;
+  Cycle created = 0;
+  bool malicious = false;
+  std::int32_t flits_sent = 0;   ///< serialization progress into the local port
+};
+
+}  // namespace dl2f::noc

@@ -1,0 +1,191 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dl2f::noc {
+
+Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
+  const auto n = static_cast<std::size_t>(cfg.shape.node_count());
+  routers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    routers_.push_back(std::make_unique<Router>(static_cast<NodeId>(i), cfg.shape, cfg.router));
+  }
+  source_queues_.resize(n);
+  inject_vc_.assign(n, -1);
+}
+
+PacketId Mesh::inject(NodeId src, NodeId dst, std::int32_t length_flits, bool malicious) {
+  assert(cfg_.shape.valid(src) && cfg_.shape.valid(dst));
+  PendingPacket p;
+  p.id = next_packet_id_++;
+  p.src = src;
+  p.dst = dst;
+  p.length_flits = length_flits > 0 ? length_flits : cfg_.packet_length_flits;
+  p.created = now_;
+  p.malicious = malicious;
+  auto& q = source_queues_[static_cast<std::size_t>(src)];
+  q.push_back(p);
+  max_queue_len_ = std::max(max_queue_len_, q.size());
+  return p.id;
+}
+
+void Mesh::run_network_interfaces() {
+  // Each NI serializes the packet at the head of its source queue into a
+  // local-input virtual channel, one flit per cycle (injection bandwidth of
+  // one flit/cycle, as in Garnet's NetworkInterface).
+  for (std::size_t node = 0; node < source_queues_.size(); ++node) {
+    auto& q = source_queues_[node];
+    if (q.empty()) continue;
+    auto& router = *routers_[node];
+    auto& local = router.input(Direction::Local);
+    auto& pkt = q.front();
+
+    if (inject_vc_[node] < 0) {
+      // Claim an idle, empty VC for the new packet.
+      for (std::size_t v = 0; v < local.vcs.size(); ++v) {
+        const auto& vc = local.vcs[v];
+        if (vc.state == VirtualChannel::State::Idle && vc.empty()) {
+          inject_vc_[node] = static_cast<std::int32_t>(v);
+          break;
+        }
+      }
+      if (inject_vc_[node] < 0) continue;  // all local VCs busy
+    }
+
+    auto& vc = local.vcs[static_cast<std::size_t>(inject_vc_[node])];
+    if (static_cast<std::int32_t>(vc.buffer.size()) >= cfg_.router.vc_depth) continue;
+
+    Flit flit;
+    flit.packet = pkt.id;
+    flit.src = pkt.src;
+    flit.dst = pkt.dst;
+    flit.seq = pkt.flits_sent;
+    flit.created = pkt.created;
+    flit.injected = now_;
+    flit.malicious = pkt.malicious;
+    if (pkt.length_flits == 1) {
+      flit.type = FlitType::HeadTail;
+    } else if (pkt.flits_sent == 0) {
+      flit.type = FlitType::Head;
+    } else if (pkt.flits_sent + 1 == pkt.length_flits) {
+      flit.type = FlitType::Tail;
+    } else {
+      flit.type = FlitType::Body;
+    }
+
+    router.accept_flit(Direction::Local, inject_vc_[node], flit, now_);
+    ++pkt.flits_sent;
+    if (pkt.flits_sent == pkt.length_flits) {
+      q.pop_front();
+      inject_vc_[node] = -1;
+    }
+  }
+}
+
+void Mesh::step() {
+  run_network_interfaces();
+
+  // Two-phase update: every router computes its transfers from the current
+  // state; arrivals and credit returns are applied afterwards, giving a
+  // uniform one-cycle link latency with no router-order artifacts.
+  struct PendingTransfer {
+    NodeId to;
+    Direction in_dir;  ///< input port at the destination router
+    std::int32_t vc;
+    Flit flit;
+  };
+  struct PendingCredit {
+    NodeId to;
+    Direction out_dir;  ///< output port at the upstream router
+    std::int32_t vc;
+  };
+  std::vector<PendingTransfer> arrivals;
+  std::vector<PendingCredit> credit_updates;
+  std::vector<LinkTransfer> transfers;
+  std::vector<CreditReturn> credits;
+  std::vector<Flit> ejected;
+
+  for (auto& router_ptr : routers_) {
+    transfers.clear();
+    credits.clear();
+    ejected.clear();
+    Router& r = *router_ptr;
+    r.step(cfg_.shape, transfers, credits, ejected, now_);
+
+    for (const auto& t : transfers) {
+      const auto neighbor = cfg_.shape.neighbor(r.id(), t.out_dir);
+      assert(neighbor.has_value());
+      arrivals.push_back(PendingTransfer{*neighbor, opposite(t.out_dir), t.out_vc, t.flit});
+    }
+    for (const auto& c : credits) {
+      // The flit was read from input port `c.in_dir`; the upstream router
+      // lies in that direction and regains a credit on its facing output.
+      const auto upstream = cfg_.shape.neighbor(r.id(), c.in_dir);
+      assert(upstream.has_value());
+      credit_updates.push_back(PendingCredit{*upstream, opposite(c.in_dir), c.vc});
+    }
+    for (const auto& f : ejected) {
+      stats_.on_flit_ejected(f, now_);
+      if (is_tail(f.type)) stats_.on_packet_ejected(f, now_);
+      if (!f.malicious) {
+        benign_stats_.on_flit_ejected(f, now_);
+        if (is_tail(f.type)) benign_stats_.on_packet_ejected(f, now_);
+      }
+    }
+  }
+
+  for (const auto& a : arrivals) {
+    // Arrivals land at the end of the cycle; timestamp them at now_ + 1 so
+    // the occupancy integral attributes the new flit to the next cycle.
+    routers_[static_cast<std::size_t>(a.to)]->accept_flit(a.in_dir, a.vc, a.flit, now_ + 1);
+  }
+  for (const auto& c : credit_updates) {
+    routers_[static_cast<std::size_t>(c.to)]->accept_credit(c.out_dir, c.vc);
+  }
+
+  ++now_;
+}
+
+void Mesh::run(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) step();
+}
+
+std::int64_t Mesh::flits_in_network() const {
+  std::int64_t total = 0;
+  for (const auto& r : routers_) total += r->buffered_flits();
+  return total;
+}
+
+bool Mesh::drained() const {
+  if (flits_in_network() != 0) return false;
+  return std::all_of(source_queues_.begin(), source_queues_.end(),
+                     [](const auto& q) { return q.empty(); });
+}
+
+void Mesh::reset_telemetry() {
+  for (auto& r : routers_) {
+    for (Direction d : kMeshDirections) {
+      r->input(d).telemetry.reset();
+      r->input(d).occ_reset(now_);
+    }
+    r->input(Direction::Local).telemetry.reset();
+    r->input(Direction::Local).occ_reset(now_);
+  }
+}
+
+std::vector<NodeId> xy_route_path(const MeshShape& mesh, NodeId src, NodeId dst) {
+  std::vector<NodeId> path;
+  NodeId at = src;
+  path.push_back(at);
+  while (at != dst) {
+    const Direction d = xy_route_step(mesh, at, dst);
+    const auto next = mesh.neighbor(at, d);
+    assert(next.has_value());
+    at = *next;
+    path.push_back(at);
+  }
+  return path;
+}
+
+}  // namespace dl2f::noc

@@ -1,0 +1,94 @@
+// The 2-D Mesh-XY NoC fabric: routers, 1-cycle links, credit wiring and
+// per-node network interfaces (source queue + flitization + ejection).
+//
+// This is the repo's substitute for Gem5/Garnet (see DESIGN.md §2): the
+// structural state Garnet exposes (virtual-channel occupancy, buffer
+// read/write counters, queueing and network latency) is produced by the
+// same mechanisms here, so DL2Fence's feature frames keep their semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "noc/stats.hpp"
+
+namespace dl2f::noc {
+
+struct MeshConfig {
+  MeshShape shape = MeshShape::square(8);
+  RouterConfig router;
+  std::int32_t packet_length_flits = 5;  ///< default packet size (1 head + 3 body + 1 tail)
+};
+
+class Mesh {
+ public:
+  explicit Mesh(const MeshConfig& cfg);
+
+  [[nodiscard]] const MeshConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const MeshShape& shape() const noexcept { return cfg_.shape; }
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  [[nodiscard]] Router& router(NodeId id) { return *routers_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Router& router(NodeId id) const {
+    return *routers_[static_cast<std::size_t>(id)];
+  }
+
+  /// Queue a packet at `src`'s network interface. Uses the configured
+  /// default length when `length_flits <= 0`.
+  PacketId inject(NodeId src, NodeId dst, std::int32_t length_flits = 0, bool malicious = false);
+
+  /// Advance the whole network by one cycle.
+  void step();
+  /// Advance by `n` cycles.
+  void run(std::int64_t n);
+
+  /// All traffic, flooding packets included.
+  [[nodiscard]] const LatencyStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] LatencyStats& stats() noexcept { return stats_; }
+  /// Benign traffic only — the paper's Fig. 1 series measure how flooding
+  /// degrades *normal* workload latency, so the malicious packets
+  /// themselves are excluded here.
+  [[nodiscard]] const LatencyStats& benign_stats() const noexcept { return benign_stats_; }
+  [[nodiscard]] LatencyStats& benign_stats() noexcept { return benign_stats_; }
+
+  /// Packets still waiting (or partially serialized) at a source queue.
+  [[nodiscard]] std::size_t source_queue_length(NodeId id) const {
+    return source_queues_[static_cast<std::size_t>(id)].size();
+  }
+  /// Largest source-queue length observed so far (congestion-collapse probe:
+  /// Fig. 1 declares the system crashed when this diverges at FIR = 1).
+  [[nodiscard]] std::size_t max_source_queue_length() const noexcept { return max_queue_len_; }
+
+  /// Flits currently buffered inside routers (not counting source queues).
+  [[nodiscard]] std::int64_t flits_in_network() const;
+  /// True when no traffic is queued or in flight.
+  [[nodiscard]] bool drained() const;
+
+  /// Reset the per-port buffer-operation counters on every router
+  /// (the monitor calls this after sampling a BOC frame set).
+  void reset_telemetry();
+
+ private:
+  void run_network_interfaces();
+
+  MeshConfig cfg_;
+  Cycle now_ = 0;
+  PacketId next_packet_id_ = 0;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::deque<PendingPacket>> source_queues_;
+  /// Local-input VC each NI is currently serializing into (-1 = none).
+  std::vector<std::int32_t> inject_vc_;
+  std::size_t max_queue_len_ = 0;
+  LatencyStats stats_;
+  LatencyStats benign_stats_;
+};
+
+/// Full XY route from src to dst, inclusive of both endpoints.
+[[nodiscard]] std::vector<NodeId> xy_route_path(const MeshShape& mesh, NodeId src, NodeId dst);
+
+}  // namespace dl2f::noc

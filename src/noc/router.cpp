@@ -1,0 +1,181 @@
+#include "noc/router.hpp"
+
+#include <cassert>
+
+namespace dl2f::noc {
+
+double InputPort::vc_occupancy() const noexcept {
+  if (vcs.empty() || !connected) return 0.0;
+  std::size_t occupied = 0;
+  for (const auto& vc : vcs) {
+    if (vc.occupied()) ++occupied;
+  }
+  return static_cast<double>(occupied) / static_cast<double>(vcs.size());
+}
+
+double InputPort::avg_vc_occupancy(Cycle now) const noexcept {
+  if (vcs.empty() || !connected) return 0.0;
+  const auto elapsed = now - occ_window_start;
+  if (elapsed <= 0) return vc_occupancy();
+  const auto integral = occ_integral + occupied_vcs * (now - occ_last_update);
+  return static_cast<double>(integral) /
+         (static_cast<double>(elapsed) * static_cast<double>(vcs.size()));
+}
+
+std::optional<std::int32_t> OutputPort::find_free_vc() const noexcept {
+  for (std::size_t v = 0; v < vc_in_use.size(); ++v) {
+    if (!vc_in_use[v]) return static_cast<std::int32_t>(v);
+  }
+  return std::nullopt;
+}
+
+Router::Router(NodeId id, const MeshShape& mesh, const RouterConfig& cfg) : id_(id), cfg_(cfg) {
+  const Coord here = mesh.coord_of(id);
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    const auto dir = static_cast<Direction>(p);
+    const bool connected = mesh.has_port(here, dir);
+    auto& in = inputs_[p];
+    in.connected = connected;
+    in.vcs.resize(static_cast<std::size_t>(cfg.vcs_per_port));
+    auto& out = outputs_[p];
+    out.connected = connected;
+    out.credits.assign(static_cast<std::size_t>(cfg.vcs_per_port), cfg.vc_depth);
+    out.vc_in_use.assign(static_cast<std::size_t>(cfg.vcs_per_port), false);
+  }
+  // The local output (ejection) always drains in one cycle, so model it as
+  // a connected port with per-VC credits that are returned instantly.
+}
+
+void Router::accept_flit(Direction d, std::int32_t vc, const Flit& flit, Cycle now) {
+  auto& port = input(d);
+  assert(port.connected);
+  auto& channel = port.vcs[static_cast<std::size_t>(vc)];
+  assert(static_cast<std::int32_t>(channel.buffer.size()) < cfg_.vc_depth);
+  if (!channel.occupied()) {
+    port.occ_touch(now);
+    ++port.occupied_vcs;
+  }
+  channel.buffer.push_back(flit);
+  ++port.telemetry.buffer_writes;
+  ++buffered_;
+}
+
+void Router::accept_credit(Direction out_dir, std::int32_t vc) noexcept {
+  auto& port = output(out_dir);
+  ++port.credits[static_cast<std::size_t>(vc)];
+  assert(port.credits[static_cast<std::size_t>(vc)] <= cfg_.vc_depth);
+}
+
+void Router::allocate_vcs(const MeshShape& mesh) {
+  // Route computation + VC allocation for every Idle VC with a head flit
+  // at the front of its FIFO. The scan starts from a rotating (port, vc)
+  // offset so that competing inputs share scarce downstream VCs fairly
+  // (without this, the lowest-numbered port wins the freed VC every cycle
+  // and everyone else starves at the VA stage).
+  const auto vcs = static_cast<std::size_t>(cfg_.vcs_per_port);
+  const std::size_t slots = kNumPorts * vcs;
+  va_round_robin_ = (va_round_robin_ + 1) % slots;
+  for (std::size_t offset = 0; offset < slots; ++offset) {
+    const std::size_t slot = (va_round_robin_ + offset) % slots;
+    auto& port = inputs_[slot / vcs];
+    if (!port.connected) continue;
+    auto& vc = port.vcs[slot % vcs];
+    {
+      if (vc.state != VirtualChannel::State::Idle || vc.buffer.empty()) continue;
+      const Flit& head = vc.buffer.front();
+      assert(is_head(head.type));
+      const Direction out_dir = xy_route_step(mesh, id_, head.dst);
+      auto& out = outputs_[static_cast<std::size_t>(out_dir)];
+      if (out_dir == Direction::Local) {
+        // Ejection needs no downstream VC ownership: the NI drains flits
+        // the same cycle they win switch allocation.
+        vc.state = VirtualChannel::State::Active;
+        vc.out_dir = out_dir;
+        vc.out_vc = 0;
+        continue;
+      }
+      const auto free_vc = out.find_free_vc();
+      if (!free_vc) continue;  // stall in VA; retry next cycle
+      out.vc_in_use[static_cast<std::size_t>(*free_vc)] = true;
+      vc.state = VirtualChannel::State::Active;
+      vc.out_dir = out_dir;
+      vc.out_vc = *free_vc;
+    }
+  }
+}
+
+void Router::step(const MeshShape& mesh, std::vector<LinkTransfer>& transfers,
+                  std::vector<CreditReturn>& credits, std::vector<Flit>& ejected, Cycle now) {
+  // Idle fast-path: with no buffered flits there is nothing to route,
+  // allocate or traverse (Active-but-empty VCs just wait for more flits).
+  // Most routers are idle most cycles under realistic loads, so this
+  // dominates simulation throughput on large meshes.
+  if (buffered_ == 0) return;
+
+  allocate_vcs(mesh);
+
+  // Switch allocation: pick one winning input VC per output port, scanning
+  // input (port, vc) pairs from a rotating round-robin start so no input
+  // starves. An input port may also send at most one flit per cycle.
+  const auto vcs = static_cast<std::size_t>(cfg_.vcs_per_port);
+  const std::size_t slots = kNumPorts * vcs;
+  std::array<bool, kNumPorts> input_busy{};
+
+  for (std::size_t out_p = 0; out_p < kNumPorts; ++out_p) {
+    const auto out_dir = static_cast<Direction>(out_p);
+    auto& out = outputs_[out_p];
+    if (out_dir != Direction::Local && !out.connected) continue;
+
+    for (std::size_t offset = 0; offset < slots; ++offset) {
+      const std::size_t slot = (sa_round_robin_[out_p] + offset) % slots;
+      const std::size_t in_p = slot / vcs;
+      const std::size_t in_v = slot % vcs;
+      if (input_busy[in_p]) continue;
+      auto& port = inputs_[in_p];
+      if (!port.connected) continue;
+      auto& vc = port.vcs[in_v];
+      if (vc.state != VirtualChannel::State::Active || vc.out_dir != out_dir ||
+          vc.buffer.empty()) {
+        continue;
+      }
+      if (out_dir != Direction::Local &&
+          out.credits[static_cast<std::size_t>(vc.out_vc)] <= 0) {
+        continue;  // no downstream space
+      }
+
+      // Switch + link traversal.
+      Flit flit = vc.buffer.front();
+      vc.buffer.pop_front();
+      ++port.telemetry.buffer_reads;
+      --buffered_;
+      input_busy[in_p] = true;
+      sa_round_robin_[out_p] = (slot + 1) % slots;
+
+      const auto in_dir = static_cast<Direction>(in_p);
+      if (in_dir != Direction::Local) {
+        credits.push_back(CreditReturn{in_dir, static_cast<std::int32_t>(in_v)});
+      }
+
+      if (out_dir == Direction::Local) {
+        ejected.push_back(flit);
+      } else {
+        --out.credits[static_cast<std::size_t>(vc.out_vc)];
+        transfers.push_back(LinkTransfer{out_dir, vc.out_vc, flit});
+        if (is_tail(flit.type)) {
+          out.vc_in_use[static_cast<std::size_t>(vc.out_vc)] = false;
+        }
+      }
+      if (is_tail(flit.type)) {
+        vc.state = VirtualChannel::State::Idle;
+        vc.out_vc = -1;
+      }
+      if (!vc.occupied()) {
+        port.occ_touch(now);
+        --port.occupied_vcs;
+      }
+      break;  // this output port is served for this cycle
+    }
+  }
+}
+
+}  // namespace dl2f::noc

@@ -1,0 +1,173 @@
+// A 5-port virtual-channel wormhole router (Garnet-style).
+//
+// Each input port owns `vcs_per_port` virtual channels, each a FIFO of
+// `vc_depth` flits. The per-cycle micro-pipeline is the classic
+// RC -> VA -> SA -> ST sequence, collapsed into one cycle per hop:
+//
+//   * Route computation: an Idle VC whose front flit is a head computes the
+//     XY output direction.
+//   * VC allocation: the VC claims a free downstream virtual channel on
+//     that output (ownership lasts until the tail flit leaves).
+//   * Switch allocation: among all input VCs with a buffered flit, an
+//     allocated output and at least one credit, one winner is chosen per
+//     output port AND per input port (round-robin priority).
+//   * Switch/link traversal: the winning flit is popped (a buffer read),
+//     a credit is returned upstream, and the flit is latched onto the
+//     output link to arrive at the neighbor next cycle.
+//
+// The router also accumulates the two telemetry features DL2Fence consumes:
+// instantaneous virtual-channel occupancy (VCO) and accumulated buffer
+// operation counts (BOC = buffer writes + reads since the last sample).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "noc/flit.hpp"
+
+namespace dl2f::noc {
+
+struct RouterConfig {
+  std::int32_t vcs_per_port = 4;
+  std::int32_t vc_depth = 4;  ///< flit slots per virtual channel
+};
+
+/// One virtual channel: flit FIFO plus wormhole allocation state.
+struct VirtualChannel {
+  enum class State : std::uint8_t { Idle, Active };
+
+  std::deque<Flit> buffer;
+  State state = State::Idle;
+  Direction out_dir = Direction::Local;  ///< valid when Active
+  std::int32_t out_vc = -1;              ///< downstream VC id, valid when Active
+
+  [[nodiscard]] bool empty() const noexcept { return buffer.empty(); }
+  [[nodiscard]] bool occupied() const noexcept {
+    return !buffer.empty() || state == State::Active;
+  }
+};
+
+/// Per-input-port feature counters sampled by the global monitor.
+struct PortTelemetry {
+  std::int64_t buffer_writes = 0;  ///< flits enqueued since last reset
+  std::int64_t buffer_reads = 0;   ///< flits dequeued since last reset
+
+  void reset() noexcept { buffer_writes = buffer_reads = 0; }
+  [[nodiscard]] std::int64_t operations() const noexcept { return buffer_writes + buffer_reads; }
+};
+
+struct InputPort {
+  std::vector<VirtualChannel> vcs;
+  PortTelemetry telemetry;
+  bool connected = false;  ///< false for edge-facing ports that have no link
+
+  // Occupancy accounting for the VCO feature. Garnet routers hold flits
+  // across a 4-5 stage pipeline, so an instantaneous VC-occupancy snapshot
+  // there reflects sustained congestion; this router is single-cycle and
+  // drains VCs far faster, so the monitor reads the *time-averaged*
+  // occupancy over the sampling window instead (same [0,1] range and
+  // semantics — see DESIGN.md substitutions). The integral is maintained
+  // incrementally at occupancy transitions, keeping idle routers free.
+  std::int32_t occupied_vcs = 0;    ///< current number of occupied VCs
+  std::int64_t occ_integral = 0;    ///< sum over cycles of occupied_vcs
+  Cycle occ_last_update = 0;
+  Cycle occ_window_start = 0;
+
+  /// Fold elapsed time into the occupancy integral before a transition.
+  void occ_touch(Cycle now) noexcept {
+    occ_integral += occupied_vcs * (now - occ_last_update);
+    occ_last_update = now;
+  }
+  /// Start a new averaging window (monitor sampling boundary).
+  void occ_reset(Cycle now) noexcept {
+    occ_integral = 0;
+    occ_last_update = now;
+    occ_window_start = now;
+  }
+
+  /// Fraction of this port's VCs currently holding a packet
+  /// (occupied VCs / total VCs, instantaneous, in [0,1]).
+  [[nodiscard]] double vc_occupancy() const noexcept;
+
+  /// Time-averaged VC occupancy since the last occ_reset, in [0,1].
+  /// Falls back to the instantaneous value when no time has elapsed.
+  [[nodiscard]] double avg_vc_occupancy(Cycle now) const noexcept;
+};
+
+struct OutputPort {
+  /// Credits per downstream VC (free buffer slots we may still send into).
+  std::vector<std::int32_t> credits;
+  /// Which downstream VC ids are currently owned by one of our input VCs.
+  std::vector<bool> vc_in_use;
+  bool connected = false;
+
+  [[nodiscard]] std::optional<std::int32_t> find_free_vc() const noexcept;
+};
+
+/// A flit leaving through an output port this cycle (applied by the mesh).
+struct LinkTransfer {
+  Direction out_dir = Direction::Local;
+  std::int32_t out_vc = -1;
+  Flit flit;
+};
+
+/// A credit returned to the upstream router this cycle.
+struct CreditReturn {
+  Direction in_dir = Direction::Local;  ///< input port the flit was read from
+  std::int32_t vc = -1;
+};
+
+class Router {
+ public:
+  Router(NodeId id, const MeshShape& mesh, const RouterConfig& cfg);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const RouterConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] InputPort& input(Direction d) noexcept {
+    return inputs_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] const InputPort& input(Direction d) const noexcept {
+    return inputs_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] OutputPort& output(Direction d) noexcept {
+    return outputs_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] const OutputPort& output(Direction d) const noexcept {
+    return outputs_[static_cast<std::size_t>(d)];
+  }
+
+  /// Enqueue a flit arriving on input port `d`, VC `vc` (counts one buffer
+  /// write). The caller guarantees a free slot (credit flow control).
+  /// `now` timestamps the occupancy transition for VCO averaging.
+  void accept_flit(Direction d, std::int32_t vc, const Flit& flit, Cycle now = 0);
+
+  /// Re-credit a downstream VC slot after the neighbor drained one flit.
+  void accept_credit(Direction out_dir, std::int32_t vc) noexcept;
+
+  /// Run one cycle of RC/VA/SA/ST. Ejected flits (destination reached) are
+  /// appended to `ejected`; flits bound for neighbors to `transfers`;
+  /// credits owed upstream to `credits`.
+  void step(const MeshShape& mesh, std::vector<LinkTransfer>& transfers,
+            std::vector<CreditReturn>& credits, std::vector<Flit>& ejected, Cycle now = 0);
+
+  /// Total flits buffered across all ports (for drain / deadlock checks).
+  [[nodiscard]] std::int64_t buffered_flits() const noexcept { return buffered_; }
+
+ private:
+  void allocate_vcs(const MeshShape& mesh);
+
+  NodeId id_;
+  RouterConfig cfg_;
+  std::array<InputPort, kNumPorts> inputs_;
+  std::array<OutputPort, kNumPorts> outputs_;
+  std::array<std::size_t, kNumPorts> sa_round_robin_{};  ///< per-output priority pointer
+  std::size_t va_round_robin_ = 0;  ///< rotating start for VC allocation fairness
+  std::int64_t buffered_ = 0;       ///< flits currently buffered (idle fast-path)
+};
+
+}  // namespace dl2f::noc

@@ -1,0 +1,22 @@
+#include "noc/stats.hpp"
+
+namespace dl2f::noc {
+
+void LatencyStats::on_flit_ejected(const Flit& flit, Cycle now) {
+  flit_queue_.add(static_cast<double>(flit.injected - flit.created));
+  flit_total_.add(static_cast<double>(now - flit.created));
+}
+
+void LatencyStats::on_packet_ejected(const Flit& tail, Cycle now) {
+  packet_queue_.add(static_cast<double>(tail.injected - tail.created));
+  packet_total_.add(static_cast<double>(now - tail.created));
+}
+
+void LatencyStats::reset() noexcept {
+  flit_queue_.reset();
+  flit_total_.reset();
+  packet_queue_.reset();
+  packet_total_.reset();
+}
+
+}  // namespace dl2f::noc

@@ -1,0 +1,54 @@
+// Latency accounting for the four series Figure 1 reports:
+// packet/flit queueing latency (time spent in the source queue) and
+// packet/flit total latency (creation to ejection).
+#pragma once
+
+#include <cstdint>
+
+#include "noc/flit.hpp"
+
+namespace dl2f::noc {
+
+/// Simple accumulating mean.
+class RunningMean {
+ public:
+  void add(double v) noexcept {
+    sum_ += v;
+    ++count_;
+  }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  void reset() noexcept { sum_ = 0.0; count_ = 0; }
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+class LatencyStats {
+ public:
+  /// Record one ejected flit (every flit contributes to the flit series).
+  void on_flit_ejected(const Flit& flit, Cycle now);
+  /// Record packet completion (called on the tail flit).
+  void on_packet_ejected(const Flit& tail, Cycle now);
+
+  [[nodiscard]] double avg_flit_queue_latency() const noexcept { return flit_queue_.mean(); }
+  [[nodiscard]] double avg_flit_latency() const noexcept { return flit_total_.mean(); }
+  [[nodiscard]] double avg_packet_queue_latency() const noexcept { return packet_queue_.mean(); }
+  [[nodiscard]] double avg_packet_latency() const noexcept { return packet_total_.mean(); }
+
+  [[nodiscard]] std::int64_t flits_ejected() const noexcept { return flit_total_.count(); }
+  [[nodiscard]] std::int64_t packets_ejected() const noexcept { return packet_total_.count(); }
+
+  void reset() noexcept;
+
+ private:
+  RunningMean flit_queue_;
+  RunningMean flit_total_;
+  RunningMean packet_queue_;
+  RunningMean packet_total_;
+};
+
+}  // namespace dl2f::noc

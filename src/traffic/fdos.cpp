@@ -1,0 +1,96 @@
+#include "traffic/fdos.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dl2f::traffic {
+
+std::vector<NodeId> AttackScenario::ground_truth_victims(const MeshShape& mesh) const {
+  std::vector<NodeId> victims;
+  for (NodeId a : attackers) {
+    const auto path = noc::xy_route_path(mesh, a, victim);
+    // Attacker's own node is the source, not a victim; everything it
+    // transits (routing-path victims) plus the target victim counts.
+    for (std::size_t i = 1; i < path.size(); ++i) victims.push_back(path[i]);
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  return victims;
+}
+
+std::vector<std::pair<NodeId, Direction>> AttackScenario::ground_truth_ports(
+    const MeshShape& mesh) const {
+  std::vector<std::pair<NodeId, Direction>> ports;
+  for (NodeId a : attackers) {
+    const auto path = noc::xy_route_path(mesh, a, victim);
+    // A flit moving from path[i] to path[i+1] leaves through the direction
+    // of travel and enters path[i+1] on the opposite-facing input port.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Direction travel = xy_route_step(mesh, path[i], path[i + 1]);
+      ports.emplace_back(path[i + 1], opposite(travel));
+    }
+  }
+  std::sort(ports.begin(), ports.end());
+  ports.erase(std::unique(ports.begin(), ports.end()), ports.end());
+  return ports;
+}
+
+FloodingAttack::FloodingAttack(AttackScenario scenario, std::uint64_t seed)
+    : scenario_(std::move(scenario)), rng_(seed) {
+  assert(scenario_.victim >= 0);
+  assert(!scenario_.attackers.empty());
+  assert(scenario_.fir >= 0.0 && scenario_.fir <= 1.0);
+}
+
+void FloodingAttack::tick(noc::Mesh& mesh) {
+  if (!active_) return;
+  for (NodeId attacker : scenario_.attackers) {
+    if (rng_.bernoulli(scenario_.fir)) {
+      // Flooding packets are single-flit request/acknowledge packets
+      // ("unlimited requests or acknowledges", §2.3): FIR is then the
+      // fraction of the attacker's 1-flit/cycle injection bandwidth spent
+      // on flooding, so FIR < 1 is sustainable and FIR = 1 saturates the
+      // injection port outright.
+      mesh.inject(attacker, scenario_.victim, /*length_flits=*/1, /*malicious=*/true);
+    }
+  }
+}
+
+std::vector<AttackScenario> make_scenarios(const MeshShape& mesh, std::int32_t count,
+                                           std::int32_t num_attackers, double fir,
+                                           std::uint64_t seed) {
+  assert(num_attackers >= 1);
+  Rng rng(seed);
+  std::vector<AttackScenario> scenarios;
+  scenarios.reserve(static_cast<std::size_t>(count));
+  const auto n = mesh.node_count();
+
+  while (static_cast<std::int32_t>(scenarios.size()) < count) {
+    AttackScenario s;
+    s.fir = fir;
+    s.victim = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    bool ok = true;
+    for (std::int32_t a = 0; a < num_attackers && ok; ++a) {
+      // Keep attackers distinct, away from the victim and each other so
+      // the flooding route is at least two hops (single-hop floods leave
+      // no routing-path victims to localize).
+      for (int attempt = 0;; ++attempt) {
+        if (attempt >= 64) {
+          ok = false;
+          break;
+        }
+        const auto cand = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+        if (cand == s.victim || mesh.hop_distance(cand, s.victim) < 2) continue;
+        if (std::find(s.attackers.begin(), s.attackers.end(), cand) != s.attackers.end()) {
+          continue;
+        }
+        s.attackers.push_back(cand);
+        break;
+      }
+    }
+    if (ok) scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+}  // namespace dl2f::traffic

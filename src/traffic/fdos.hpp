@@ -1,0 +1,66 @@
+// The refined Flooding-DoS (FDoS) threat model of §2.3.
+//
+// One or more malicious nodes continuously inject superfluous but
+// *protocol-legal* packets toward a single target victim. The attack obeys
+// the system's XY routing and credit flow control — it can only overwhelm
+// the network by pressure, never by breaking the protocol. Its sole knob
+// is the Flooding Injection Rate (FIR): the per-cycle probability that
+// each attacker emits one flooding packet. FIR in (0,1) degrades the
+// benign traffic; FIR = 1 saturates the attacker's injection port and,
+// overlaid on real workloads, collapses the system (Fig. 1).
+//
+// Packets carry a ground-truth `malicious` flag used ONLY for labelling
+// datasets and scoring — the detector never sees it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/generator.hpp"
+
+namespace dl2f::traffic {
+
+/// One attack configuration: who floods whom, and how hard.
+struct AttackScenario {
+  std::vector<NodeId> attackers;
+  NodeId victim = -1;
+  double fir = 0.8;  ///< flooding injection rate in [0, 1]
+
+  /// All routing-path victims (nodes traversed by flooding packets,
+  /// endpoints included) under XY routing — the localization ground truth.
+  [[nodiscard]] std::vector<NodeId> ground_truth_victims(const MeshShape& mesh) const;
+
+  /// The set of directional input ports (node, direction) that flooding
+  /// flits traverse — ground truth for per-direction segmentation frames.
+  [[nodiscard]] std::vector<std::pair<NodeId, Direction>> ground_truth_ports(
+      const MeshShape& mesh) const;
+};
+
+/// The malicious 'Tick' function: overlays flooding packets on whatever
+/// benign generator runs alongside it.
+class FloodingAttack final : public TrafficGenerator {
+ public:
+  FloodingAttack(AttackScenario scenario, std::uint64_t seed);
+
+  void tick(noc::Mesh& mesh) override;
+
+  [[nodiscard]] const AttackScenario& scenario() const noexcept { return scenario_; }
+  /// Enable/disable at runtime (used to build mixed benign/attack traces).
+  void set_active(bool active) noexcept { active_ = active; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  AttackScenario scenario_;
+  Rng rng_;
+  bool active_ = true;
+};
+
+/// Deterministically generate `count` distinct attack scenarios on `mesh`
+/// with `num_attackers` attackers each (the paper simulates 18 scenarios
+/// per benchmark at FIR 0.8: a mix of 1- and 2-attacker cases).
+[[nodiscard]] std::vector<AttackScenario> make_scenarios(const MeshShape& mesh,
+                                                         std::int32_t count,
+                                                         std::int32_t num_attackers, double fir,
+                                                         std::uint64_t seed);
+
+}  // namespace dl2f::traffic

@@ -1,0 +1,101 @@
+#include "traffic/patterns.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace dl2f::traffic {
+
+std::string_view to_string(SyntheticPattern p) noexcept {
+  switch (p) {
+    case SyntheticPattern::UniformRandom: return "Uniform Random";
+    case SyntheticPattern::Tornado: return "Tornado";
+    case SyntheticPattern::Shuffle: return "Shuffle";
+    case SyntheticPattern::Neighbor: return "Neighbor";
+    case SyntheticPattern::BitRotation: return "Bit Rotation";
+    case SyntheticPattern::BitComplement: return "Bit Complement";
+  }
+  return "?";
+}
+
+int node_id_bits(const MeshShape& mesh) noexcept {
+  const auto n = static_cast<std::uint32_t>(mesh.node_count());
+  return std::bit_width(n) - 1;
+}
+
+namespace {
+
+/// Permutation patterns need a power-of-two id space; all paper meshes
+/// (4x4 .. 32x32) satisfy this.
+bool is_pow2_mesh(const MeshShape& mesh) noexcept {
+  return std::has_single_bit(static_cast<std::uint32_t>(mesh.node_count()));
+}
+
+NodeId tornado_destination(const MeshShape& mesh, NodeId src) noexcept {
+  // Each dimension sends (ceil(k/2) - 1) hops "around" the ring; on a mesh
+  // this is the classic adversarial half-way offset.
+  const Coord c = mesh.coord_of(src);
+  const auto kx = mesh.cols(), ky = mesh.rows();
+  const Coord d{(c.x + (kx + 1) / 2 - 1 + kx) % kx, (c.y + (ky + 1) / 2 - 1 + ky) % ky};
+  return mesh.id_of(d);
+}
+
+NodeId neighbor_destination(const MeshShape& mesh, NodeId src) noexcept {
+  // Nearest neighbor in +x, wrapping within the row.
+  const Coord c = mesh.coord_of(src);
+  return mesh.id_of(Coord{(c.x + 1) % mesh.cols(), c.y});
+}
+
+NodeId shuffle_destination(const MeshShape& mesh, NodeId src) noexcept {
+  // Perfect shuffle: rotate the id bit-string left by one.
+  const int bits = node_id_bits(mesh);
+  const auto s = static_cast<std::uint32_t>(src);
+  const auto mask = (1U << bits) - 1U;
+  const auto d = ((s << 1) | (s >> (bits - 1))) & mask;
+  return static_cast<NodeId>(d);
+}
+
+NodeId bit_rotation_destination(const MeshShape& mesh, NodeId src) noexcept {
+  // Rotate the id bit-string right by one.
+  const int bits = node_id_bits(mesh);
+  const auto s = static_cast<std::uint32_t>(src);
+  const auto mask = (1U << bits) - 1U;
+  const auto d = ((s >> 1) | ((s & 1U) << (bits - 1))) & mask;
+  return static_cast<NodeId>(d);
+}
+
+NodeId bit_complement_destination(const MeshShape& mesh, NodeId src) noexcept {
+  const int bits = node_id_bits(mesh);
+  const auto mask = (1U << bits) - 1U;
+  return static_cast<NodeId>(~static_cast<std::uint32_t>(src) & mask);
+}
+
+}  // namespace
+
+NodeId pattern_destination(SyntheticPattern p, const MeshShape& mesh, NodeId src, Rng& rng) {
+  assert(mesh.valid(src));
+  switch (p) {
+    case SyntheticPattern::UniformRandom: {
+      const auto n = mesh.node_count();
+      if (n == 1) return src;
+      auto dst = static_cast<NodeId>(rng.uniform_int(0, n - 2));
+      if (dst >= src) ++dst;  // skip self
+      return dst;
+    }
+    case SyntheticPattern::Tornado:
+      return tornado_destination(mesh, src);
+    case SyntheticPattern::Neighbor:
+      return neighbor_destination(mesh, src);
+    case SyntheticPattern::Shuffle:
+      assert(is_pow2_mesh(mesh));
+      return shuffle_destination(mesh, src);
+    case SyntheticPattern::BitRotation:
+      assert(is_pow2_mesh(mesh));
+      return bit_rotation_destination(mesh, src);
+    case SyntheticPattern::BitComplement:
+      assert(is_pow2_mesh(mesh));
+      return bit_complement_destination(mesh, src);
+  }
+  return src;
+}
+
+}  // namespace dl2f::traffic

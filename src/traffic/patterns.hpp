@@ -1,0 +1,45 @@
+// The six synthetic traffic patterns (STP) the paper evaluates on:
+// Uniform Random, Tornado, Shuffle, Neighbor, Bit Rotation, Bit Complement.
+//
+// Definitions follow Dally & Towles, "Principles and Practices of
+// Interconnection Networks": permutation patterns operate on the node-id
+// bit string (requiring power-of-two node counts, which all the paper's
+// meshes satisfy); Tornado and Neighbor operate per mesh dimension.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+
+namespace dl2f::traffic {
+
+enum class SyntheticPattern : std::uint8_t {
+  UniformRandom,
+  Tornado,
+  Shuffle,
+  Neighbor,
+  BitRotation,
+  BitComplement,
+};
+
+inline constexpr std::array<SyntheticPattern, 6> kAllSyntheticPatterns{
+    SyntheticPattern::UniformRandom, SyntheticPattern::Tornado,
+    SyntheticPattern::Shuffle,       SyntheticPattern::Neighbor,
+    SyntheticPattern::BitRotation,   SyntheticPattern::BitComplement,
+};
+
+[[nodiscard]] std::string_view to_string(SyntheticPattern p) noexcept;
+
+/// Destination of a packet sourced at `src` under pattern `p`.
+/// Deterministic for all patterns except UniformRandom (which draws a
+/// destination != src from `rng`).
+[[nodiscard]] NodeId pattern_destination(SyntheticPattern p, const MeshShape& mesh, NodeId src,
+                                         Rng& rng);
+
+/// Number of significant bits in the node-id space (node_count must be a
+/// power of two for the bit-permutation patterns).
+[[nodiscard]] int node_id_bits(const MeshShape& mesh) noexcept;
+
+}  // namespace dl2f::traffic

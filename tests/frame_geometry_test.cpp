@@ -1,0 +1,95 @@
+#include "monitor/frame_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dl2f::monitor {
+namespace {
+
+TEST(FrameGeometry, CanonicalShapeIsRxRm1) {
+  for (const std::int32_t r : {4, 8, 16}) {
+    const FrameGeometry geom(MeshShape::square(r));
+    EXPECT_EQ(geom.frame_rows(), r);
+    EXPECT_EQ(geom.frame_cols(), r - 1);
+    const Frame f = geom.make_frame();
+    EXPECT_EQ(f.rows(), r);
+    EXPECT_EQ(f.cols(), r - 1);
+  }
+}
+
+TEST(FrameGeometry, EdgeRoutersHaveNoOutwardFacingPixel) {
+  const FrameGeometry geom(MeshShape::square(4));
+  // (3, y) routers have no East input; (0, y) no West input.
+  EXPECT_FALSE(geom.to_frame(Direction::East, Coord{3, 1}).has_value());
+  EXPECT_FALSE(geom.to_frame(Direction::West, Coord{0, 1}).has_value());
+  // (x, 3) routers have no North input; (x, 0) no South input.
+  EXPECT_FALSE(geom.to_frame(Direction::North, Coord{1, 3}).has_value());
+  EXPECT_FALSE(geom.to_frame(Direction::South, Coord{1, 0}).has_value());
+  EXPECT_FALSE(geom.to_frame(Direction::Local, Coord{1, 1}).has_value());
+}
+
+TEST(FrameGeometry, RoundTripForEveryPortOfEveryDirection) {
+  const auto mesh = MeshShape::square(8);
+  const FrameGeometry geom(mesh);
+  for (Direction d : kMeshDirections) {
+    int count = 0;
+    for (NodeId id = 0; id < mesh.node_count(); ++id) {
+      const Coord c = mesh.coord_of(id);
+      const auto pos = geom.to_frame(d, c);
+      if (!pos) {
+        EXPECT_FALSE(mesh.has_port(c, d));
+        continue;
+      }
+      ++count;
+      EXPECT_EQ(geom.to_coord(d, *pos), c) << to_string(d) << " node " << id;
+    }
+    EXPECT_EQ(count, 8 * 7);
+  }
+}
+
+TEST(FrameGeometry, MappingIsInjectivePerDirection) {
+  const auto mesh = MeshShape::square(8);
+  const FrameGeometry geom(mesh);
+  for (Direction d : kMeshDirections) {
+    std::set<std::pair<std::int32_t, std::int32_t>> seen;
+    for (NodeId id = 0; id < mesh.node_count(); ++id) {
+      const auto pos = geom.to_frame(d, mesh.coord_of(id));
+      if (!pos) continue;
+      EXPECT_TRUE(seen.emplace(pos->row, pos->col).second);
+      EXPECT_GE(pos->row, 0);
+      EXPECT_LT(pos->row, geom.frame_rows());
+      EXPECT_GE(pos->col, 0);
+      EXPECT_LT(pos->col, geom.frame_cols());
+    }
+  }
+}
+
+TEST(FrameGeometry, EastWestKeepRowLayout) {
+  const FrameGeometry geom(MeshShape::square(4));
+  // East frame pixel (row, col) = (y, x).
+  const auto e = geom.to_frame(Direction::East, Coord{1, 2});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->row, 2);
+  EXPECT_EQ(e->col, 1);
+  // West frame shifts the column by one.
+  const auto w = geom.to_frame(Direction::West, Coord{1, 2});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->row, 2);
+  EXPECT_EQ(w->col, 0);
+}
+
+TEST(FrameGeometry, NorthSouthAreTransposed) {
+  const FrameGeometry geom(MeshShape::square(4));
+  const auto n = geom.to_frame(Direction::North, Coord{2, 1});
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->row, 2);  // row = x
+  EXPECT_EQ(n->col, 1);  // col = y
+  const auto s = geom.to_frame(Direction::South, Coord{2, 1});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->row, 2);
+  EXPECT_EQ(s->col, 0);  // col = y - 1
+}
+
+}  // namespace
+}  // namespace dl2f::monitor

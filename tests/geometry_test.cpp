@@ -1,0 +1,143 @@
+#include "common/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dl2f {
+namespace {
+
+TEST(Direction, OppositeIsInvolution) {
+  for (Direction d : kMeshDirections) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+  EXPECT_EQ(opposite(Direction::Local), Direction::Local);
+}
+
+TEST(Direction, Names) {
+  EXPECT_EQ(to_string(Direction::East), "East");
+  EXPECT_EQ(to_string(Direction::North), "North");
+  EXPECT_EQ(to_string(Direction::West), "West");
+  EXPECT_EQ(to_string(Direction::South), "South");
+  EXPECT_EQ(to_string(Direction::Local), "Local");
+}
+
+TEST(MeshShape, BasicProperties) {
+  const auto mesh = MeshShape::square(8);
+  EXPECT_EQ(mesh.rows(), 8);
+  EXPECT_EQ(mesh.cols(), 8);
+  EXPECT_EQ(mesh.node_count(), 64);
+  EXPECT_TRUE(mesh.valid(0));
+  EXPECT_TRUE(mesh.valid(63));
+  EXPECT_FALSE(mesh.valid(64));
+  EXPECT_FALSE(mesh.valid(-1));
+}
+
+TEST(MeshShape, IdCoordRoundTripAllNodes) {
+  const auto mesh = MeshShape::square(16);
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    const Coord c = mesh.coord_of(id);
+    EXPECT_TRUE(mesh.contains(c));
+    EXPECT_EQ(mesh.id_of(c), id);
+  }
+}
+
+TEST(MeshShape, RowMajorBottomLeftOrigin) {
+  // id = y*cols + x with y growing North: the paper's TLM id arithmetic.
+  const auto mesh = MeshShape::square(16);
+  EXPECT_EQ(mesh.id_of(Coord{0, 0}), 0);
+  EXPECT_EQ(mesh.id_of(Coord{1, 0}), 1);
+  EXPECT_EQ(mesh.id_of(Coord{0, 1}), 16);
+  EXPECT_EQ(*mesh.neighbor(NodeId{0}, Direction::East), 1);
+  EXPECT_EQ(*mesh.neighbor(NodeId{0}, Direction::North), 16);
+  EXPECT_EQ(*mesh.neighbor(NodeId{17}, Direction::West), 16);
+  EXPECT_EQ(*mesh.neighbor(NodeId{17}, Direction::South), 1);
+}
+
+TEST(MeshShape, EdgeNeighborsAbsent) {
+  const auto mesh = MeshShape::square(4);
+  EXPECT_FALSE(mesh.neighbor(Coord{0, 0}, Direction::West).has_value());
+  EXPECT_FALSE(mesh.neighbor(Coord{0, 0}, Direction::South).has_value());
+  EXPECT_FALSE(mesh.neighbor(Coord{3, 3}, Direction::East).has_value());
+  EXPECT_FALSE(mesh.neighbor(Coord{3, 3}, Direction::North).has_value());
+  EXPECT_FALSE(mesh.neighbor(Coord{1, 1}, Direction::Local).has_value());
+}
+
+TEST(MeshShape, NeighborReciprocity) {
+  const auto mesh = MeshShape::square(6);
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    for (Direction d : kMeshDirections) {
+      const auto n = mesh.neighbor(id, d);
+      if (!n) continue;
+      EXPECT_EQ(*mesh.neighbor(*n, opposite(d)), id);
+    }
+  }
+}
+
+TEST(MeshShape, PortCountsMatchPaperFrameShape) {
+  // Exactly R*(R-1) input ports exist per direction on an R x R mesh.
+  for (const std::int32_t r : {4, 8, 16}) {
+    const auto mesh = MeshShape::square(r);
+    for (Direction d : kMeshDirections) {
+      int ports = 0;
+      for (NodeId id = 0; id < mesh.node_count(); ++id) {
+        ports += mesh.has_port(mesh.coord_of(id), d) ? 1 : 0;
+      }
+      EXPECT_EQ(ports, r * (r - 1)) << "direction " << to_string(d) << " mesh " << r;
+    }
+  }
+}
+
+TEST(MeshShape, HopDistance) {
+  const auto mesh = MeshShape::square(8);
+  EXPECT_EQ(mesh.hop_distance(0, 0), 0);
+  EXPECT_EQ(mesh.hop_distance(0, 7), 7);
+  EXPECT_EQ(mesh.hop_distance(0, 63), 14);
+  EXPECT_EQ(mesh.hop_distance(63, 0), 14);  // symmetric
+}
+
+TEST(XyRouting, StepsTowardDestinationXFirst) {
+  const auto mesh = MeshShape::square(8);
+  // From (1,1)=9 to (5,4)=37: X first -> East.
+  EXPECT_EQ(xy_route_step(mesh, 9, 37), Direction::East);
+  // Same column, destination north.
+  EXPECT_EQ(xy_route_step(mesh, 5, 5 + 8 * 3), Direction::North);
+  // Same column, destination south.
+  EXPECT_EQ(xy_route_step(mesh, 61, 5), Direction::South);
+  // Destination west.
+  EXPECT_EQ(xy_route_step(mesh, 7, 0), Direction::West);
+  // Arrived.
+  EXPECT_EQ(xy_route_step(mesh, 42, 42), Direction::Local);
+}
+
+class XyRoutingAllPairs : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(XyRoutingAllPairs, AlwaysReachesDestinationInMinimalHops) {
+  const auto mesh = MeshShape::square(GetParam());
+  for (NodeId src = 0; src < mesh.node_count(); ++src) {
+    for (NodeId dst = 0; dst < mesh.node_count(); ++dst) {
+      NodeId at = src;
+      std::int32_t hops = 0;
+      while (at != dst) {
+        const auto next = mesh.neighbor(at, xy_route_step(mesh, at, dst));
+        ASSERT_TRUE(next.has_value());
+        at = *next;
+        ASSERT_LE(++hops, mesh.hop_distance(src, dst));
+      }
+      EXPECT_EQ(hops, mesh.hop_distance(src, dst));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, XyRoutingAllPairs, ::testing::Values(2, 4, 5, 8));
+
+TEST(MeshShape, RectangularMesh) {
+  const MeshShape mesh(3, 5);  // 3 rows, 5 cols
+  EXPECT_EQ(mesh.node_count(), 15);
+  EXPECT_EQ(mesh.id_of(Coord{4, 2}), 14);
+  EXPECT_EQ(mesh.coord_of(7), (Coord{2, 1}));
+}
+
+}  // namespace
+}  // namespace dl2f

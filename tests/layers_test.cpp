@@ -1,0 +1,193 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dl2f::nn {
+namespace {
+
+TEST(Conv2D, ValidOutputShapeMatchesPaperDetector) {
+  // For R = 16: input 4ch 16x15 -> conv(3x3, valid) -> 8ch 14x13.
+  Conv2D conv(4, 8, 3, Padding::Valid);
+  const auto out = conv.output_shape(Tensor3(4, 16, 15));
+  EXPECT_EQ(out.channels(), 8);
+  EXPECT_EQ(out.height(), 14);
+  EXPECT_EQ(out.width(), 13);
+}
+
+TEST(Conv2D, SamePaddingPreservesShape) {
+  Conv2D conv(1, 8, 3, Padding::Same);
+  const auto out = conv.output_shape(Tensor3(1, 16, 15));
+  EXPECT_EQ(out.height(), 16);
+  EXPECT_EQ(out.width(), 15);
+}
+
+TEST(Conv2D, IdentityKernelForwards) {
+  // 1x1 kernel with weight 1, bias 0 is the identity.
+  Conv2D conv(1, 1, 1, Padding::Valid);
+  conv.params()[0]->value[0] = 1.0F;
+  Tensor3 in(1, 2, 2);
+  in.at(0, 0, 0) = 1;
+  in.at(0, 1, 1) = 4;
+  const auto out = conv.forward(in);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 4);
+}
+
+TEST(Conv2D, SumKernelComputesNeighborhoodSums) {
+  Conv2D conv(1, 1, 3, Padding::Same);
+  for (auto& w : conv.params()[0]->value) w = 1.0F;
+  Tensor3 in(1, 3, 3);
+  in.fill(1.0F);
+  const auto out = conv.forward(in);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 9.0F);  // full 3x3 window
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0F);  // corner sees 2x2
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 6.0F);  // edge sees 2x3
+}
+
+TEST(Conv2D, BiasAddsPerChannel) {
+  Conv2D conv(1, 2, 1, Padding::Valid);
+  conv.params()[0]->value = {0.0F, 0.0F};
+  conv.params()[1]->value = {1.5F, -2.0F};
+  Tensor3 in(1, 1, 1);
+  const auto out = conv.forward(in);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.5F);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), -2.0F);
+}
+
+TEST(Conv2D, MultiChannelAccumulates) {
+  Conv2D conv(2, 1, 1, Padding::Valid);
+  conv.params()[0]->value = {2.0F, 3.0F};  // w[out0][in0], w[out0][in1]
+  Tensor3 in(2, 1, 1);
+  in.at(0, 0, 0) = 1.0F;
+  in.at(1, 0, 0) = 1.0F;
+  EXPECT_FLOAT_EQ(conv.forward(in).at(0, 0, 0), 5.0F);
+}
+
+TEST(MaxPool2D, PicksWindowMaxima) {
+  MaxPool2D pool(2);
+  Tensor3 in(1, 4, 4);
+  for (std::int32_t h = 0; h < 4; ++h) {
+    for (std::int32_t w = 0; w < 4; ++w) in.at(0, h, w) = static_cast<float>(h * 4 + w);
+  }
+  const auto out = pool.forward(in);
+  EXPECT_EQ(out.height(), 2);
+  EXPECT_EQ(out.width(), 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 7);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0), 13);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 15);
+}
+
+TEST(MaxPool2D, OddSizesFloorDivide) {
+  MaxPool2D pool(2);
+  // Paper: 14x13 -> 7x6.
+  const auto out = pool.output_shape(Tensor3(8, 14, 13));
+  EXPECT_EQ(out.height(), 7);
+  EXPECT_EQ(out.width(), 6);
+}
+
+TEST(MaxPool2D, BackwardRoutesGradientToArgmax) {
+  MaxPool2D pool(2);
+  Tensor3 in(1, 2, 2);
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 9;
+  in.at(0, 1, 0) = 3;
+  in.at(0, 1, 1) = 2;
+  (void)pool.forward(in);
+  Tensor3 g(1, 1, 1);
+  g.at(0, 0, 0) = 5.0F;
+  const auto gin = pool.backward(g);
+  EXPECT_FLOAT_EQ(gin.at(0, 0, 1), 5.0F);
+  EXPECT_FLOAT_EQ(gin.at(0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(gin.at(0, 1, 0), 0.0F);
+}
+
+TEST(ReLU, ClampsNegativesForwardAndBackward) {
+  ReLU relu;
+  Tensor3 in(1, 1, 3);
+  in.at(0, 0, 0) = -1;
+  in.at(0, 0, 1) = 0;
+  in.at(0, 0, 2) = 2;
+  const auto out = relu.forward(in);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 2), 2);
+  Tensor3 g(1, 1, 3);
+  g.fill(1.0F);
+  const auto gin = relu.backward(g);
+  EXPECT_FLOAT_EQ(gin.at(0, 0, 0), 0);
+  EXPECT_FLOAT_EQ(gin.at(0, 0, 1), 0);  // gradient 0 at exactly 0
+  EXPECT_FLOAT_EQ(gin.at(0, 0, 2), 1);
+}
+
+TEST(SigmoidLayer, KnownValues) {
+  Sigmoid sig;
+  Tensor3 in(1, 1, 3);
+  in.at(0, 0, 0) = 0.0F;
+  in.at(0, 0, 1) = 100.0F;
+  in.at(0, 0, 2) = -100.0F;
+  const auto out = sig.forward(in);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.5F);
+  EXPECT_NEAR(out.at(0, 0, 1), 1.0F, 1e-6);
+  EXPECT_NEAR(out.at(0, 0, 2), 0.0F, 1e-6);
+}
+
+TEST(FlattenLayer, RoundTripsShape) {
+  Flatten flat;
+  Tensor3 in(2, 3, 4);
+  in.at(1, 2, 3) = 7.0F;
+  const auto out = flat.forward(in);
+  EXPECT_EQ(out.channels(), 24);
+  EXPECT_EQ(out.height(), 1);
+  const auto gin = flat.backward(out);
+  EXPECT_EQ(gin.channels(), 2);
+  EXPECT_EQ(gin.height(), 3);
+  EXPECT_FLOAT_EQ(gin.at(1, 2, 3), 7.0F);
+}
+
+TEST(DenseLayer, LinearMap) {
+  Dense dense(2, 2);
+  dense.params()[0]->value = {1, 2, 3, 4};  // row-major out x in
+  dense.params()[1]->value = {0.5F, -0.5F};
+  Tensor3 in(2, 1, 1);
+  in.at(0, 0, 0) = 1;
+  in.at(1, 0, 0) = 1;
+  const auto out = dense.forward(in);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.5F);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 6.5F);
+}
+
+TEST(DepthwiseSeparable, OutputShapeAndParamCount) {
+  DepthwiseSeparableConv2D dsc(8, 16, 3);
+  const auto out = dsc.output_shape(Tensor3(8, 10, 10));
+  EXPECT_EQ(out.channels(), 16);
+  EXPECT_EQ(out.height(), 10);
+  // 8*9 depthwise + 16*8 pointwise + 16 bias = 72 + 128 + 16.
+  EXPECT_EQ(dsc.param_count(), 216U);
+  // A standard conv would need 8*16*9 + 16 = 1168 weights: the MobileNet
+  // block is >5x smaller, which is the paper's §6 extension argument.
+  Conv2D standard(8, 16, 3, Padding::Same);
+  EXPECT_GT(standard.param_count(), 5 * dsc.param_count());
+}
+
+TEST(Layers, InitWeightsIsDeterministicPerSeed) {
+  Conv2D a(1, 4, 3, Padding::Same), b(1, 4, 3, Padding::Same);
+  Rng ra(5), rb(5);
+  a.init_weights(ra);
+  b.init_weights(rb);
+  EXPECT_EQ(a.params()[0]->value, b.params()[0]->value);
+}
+
+TEST(Layers, ParamCountsMatchPaperArchitectures) {
+  // Detector conv: 4 -> 8 3x3 = 288 weights + 8 biases.
+  Conv2D det_conv(4, 8, 3, Padding::Valid);
+  EXPECT_EQ(det_conv.param_count(), 296U);
+  // Detector dense for 16x16 mesh: 8 * 7 * 6 = 336 -> 1.
+  Dense det_dense(336, 1);
+  EXPECT_EQ(det_dense.param_count(), 337U);
+  // Localizer convs: 80 + 584 + 73.
+  Conv2D l1(1, 8, 3, Padding::Same), l2(8, 8, 3, Padding::Same), l3(8, 1, 3, Padding::Same);
+  EXPECT_EQ(l1.param_count() + l2.param_count() + l3.param_count(), 737U);
+}
+
+}  // namespace
+}  // namespace dl2f::nn

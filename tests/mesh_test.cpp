@@ -1,0 +1,157 @@
+#include "noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dl2f::noc {
+namespace {
+
+MeshConfig small_mesh(std::int32_t r = 4, std::int32_t pkt_len = 1) {
+  MeshConfig cfg;
+  cfg.shape = MeshShape::square(r);
+  cfg.packet_length_flits = pkt_len;
+  return cfg;
+}
+
+TEST(Mesh, StartsEmptyAndDrained) {
+  Mesh mesh(small_mesh());
+  EXPECT_EQ(mesh.now(), 0);
+  EXPECT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.flits_in_network(), 0);
+}
+
+TEST(Mesh, SinglePacketReachesDestination) {
+  Mesh mesh(small_mesh());
+  mesh.inject(0, 15);  // corner to corner: 6 hops
+  mesh.run(64);
+  EXPECT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.stats().packets_ejected(), 1);
+  EXPECT_EQ(mesh.stats().flits_ejected(), 1);
+}
+
+TEST(Mesh, SelfPacketEjectsLocally) {
+  Mesh mesh(small_mesh());
+  mesh.inject(5, 5);
+  mesh.run(10);
+  EXPECT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.stats().packets_ejected(), 1);
+}
+
+TEST(Mesh, PacketLatencyScalesWithDistance) {
+  Mesh near_mesh(small_mesh());
+  near_mesh.inject(5, 6);  // 1 hop
+  near_mesh.run(64);
+  const double near_latency = near_mesh.stats().avg_packet_latency();
+
+  Mesh far_mesh(small_mesh());
+  far_mesh.inject(0, 15);  // 6 hops
+  far_mesh.run(64);
+  const double far_latency = far_mesh.stats().avg_packet_latency();
+
+  EXPECT_GT(far_latency, near_latency);
+  EXPECT_GE(near_latency, 1.0);  // at least one link traversal
+}
+
+TEST(Mesh, MultiFlitPacketArrivesInOrderAndComplete) {
+  Mesh mesh(small_mesh(4, 5));
+  mesh.inject(0, 3);
+  mesh.run(64);
+  EXPECT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.stats().flits_ejected(), 5);
+  EXPECT_EQ(mesh.stats().packets_ejected(), 1);
+}
+
+TEST(Mesh, QueueLatencyGrowsWhenSourceBacklogged) {
+  // Inject a burst at one node: later packets wait in the source queue.
+  Mesh mesh(small_mesh(4, 5));
+  for (int i = 0; i < 10; ++i) mesh.inject(0, 15);
+  mesh.run(400);
+  EXPECT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.stats().packets_ejected(), 10);
+  EXPECT_GT(mesh.stats().avg_packet_queue_latency(), 1.0);
+  EXPECT_GT(mesh.max_source_queue_length(), 1U);
+}
+
+TEST(Mesh, TelemetryCountsFlitTraversals) {
+  // A single 3-flit packet 0 -> 2 passes through router 1's West input:
+  // 3 writes + 3 reads there.
+  Mesh mesh(small_mesh(4, 3));
+  mesh.inject(0, 2);
+  mesh.run(64);
+  const auto& t = mesh.router(1).input(Direction::West).telemetry;
+  EXPECT_EQ(t.buffer_writes, 3);
+  EXPECT_EQ(t.buffer_reads, 3);
+  // Destination router 2 also sees them on its West input.
+  EXPECT_EQ(mesh.router(2).input(Direction::West).telemetry.operations(), 6);
+  // Unrelated router sees nothing.
+  EXPECT_EQ(mesh.router(10).input(Direction::West).telemetry.operations(), 0);
+}
+
+TEST(Mesh, ResetTelemetryClearsCounters) {
+  Mesh mesh(small_mesh());
+  mesh.inject(0, 2);
+  mesh.run(32);
+  EXPECT_GT(mesh.router(1).input(Direction::West).telemetry.operations(), 0);
+  mesh.reset_telemetry();
+  EXPECT_EQ(mesh.router(1).input(Direction::West).telemetry.operations(), 0);
+}
+
+TEST(Mesh, XyRoutePathEndpoints) {
+  const auto mesh = MeshShape::square(4);
+  const auto path = xy_route_path(mesh, 0, 15);
+  ASSERT_EQ(path.size(), 7U);  // 6 hops + origin
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 15);
+  // X-first: 0 -> 1 -> 2 -> 3 -> 7 -> 11 -> 15.
+  const std::vector<NodeId> expected{0, 1, 2, 3, 7, 11, 15};
+  EXPECT_EQ(path, expected);
+}
+
+TEST(Mesh, XyRoutePathSingleNode) {
+  const auto mesh = MeshShape::square(4);
+  const auto path = xy_route_path(mesh, 6, 6);
+  ASSERT_EQ(path.size(), 1U);
+  EXPECT_EQ(path.front(), 6);
+}
+
+TEST(Mesh, MaliciousFlagPropagates) {
+  Mesh mesh(small_mesh());
+  mesh.inject(0, 3, 1, /*malicious=*/true);
+  // Telemetry doesn't expose flits directly; verify via drain + stats and
+  // the source-side bookkeeping instead: the packet must complete.
+  mesh.run(32);
+  EXPECT_EQ(mesh.stats().packets_ejected(), 1);
+}
+
+TEST(Mesh, InjectionBandwidthOneFlitPerCycle) {
+  // A 5-flit packet needs at least 5 cycles to leave the source.
+  Mesh mesh(small_mesh(4, 5));
+  mesh.inject(0, 1);
+  mesh.run(3);
+  EXPECT_FALSE(mesh.drained());  // serialization still in progress
+  mesh.run(61);
+  EXPECT_TRUE(mesh.drained());
+}
+
+TEST(Mesh, HeavyCrossTrafficEventuallyDeliversEverything) {
+  Mesh mesh(small_mesh(4, 5));
+  // All nodes send to the opposite corner simultaneously (worst case).
+  for (NodeId n = 0; n < 16; ++n) {
+    if (n != 15) mesh.inject(n, 15);
+  }
+  mesh.run(2000);
+  EXPECT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.stats().packets_ejected(), 15);
+}
+
+TEST(Mesh, StatsResetClearsAverages) {
+  Mesh mesh(small_mesh());
+  mesh.inject(0, 3);
+  mesh.run(32);
+  EXPECT_GT(mesh.stats().packets_ejected(), 0);
+  mesh.stats().reset();
+  EXPECT_EQ(mesh.stats().packets_ejected(), 0);
+  EXPECT_DOUBLE_EQ(mesh.stats().avg_packet_latency(), 0.0);
+}
+
+}  // namespace
+}  // namespace dl2f::noc

@@ -1,0 +1,129 @@
+#include "traffic/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dl2f::traffic {
+namespace {
+
+TEST(Patterns, Names) {
+  EXPECT_EQ(to_string(SyntheticPattern::UniformRandom), "Uniform Random");
+  EXPECT_EQ(to_string(SyntheticPattern::Tornado), "Tornado");
+  EXPECT_EQ(to_string(SyntheticPattern::Shuffle), "Shuffle");
+  EXPECT_EQ(to_string(SyntheticPattern::Neighbor), "Neighbor");
+  EXPECT_EQ(to_string(SyntheticPattern::BitRotation), "Bit Rotation");
+  EXPECT_EQ(to_string(SyntheticPattern::BitComplement), "Bit Complement");
+}
+
+TEST(Patterns, NodeIdBits) {
+  EXPECT_EQ(node_id_bits(MeshShape::square(4)), 4);
+  EXPECT_EQ(node_id_bits(MeshShape::square(8)), 6);
+  EXPECT_EQ(node_id_bits(MeshShape::square(16)), 8);
+}
+
+TEST(Patterns, UniformRandomNeverSelf) {
+  const auto mesh = MeshShape::square(8);
+  Rng rng(3);
+  for (NodeId src = 0; src < mesh.node_count(); ++src) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const NodeId dst = pattern_destination(SyntheticPattern::UniformRandom, mesh, src, rng);
+      EXPECT_NE(dst, src);
+      EXPECT_TRUE(mesh.valid(dst));
+    }
+  }
+}
+
+TEST(Patterns, UniformRandomCoversAllDestinations) {
+  const auto mesh = MeshShape::square(4);
+  Rng rng(5);
+  std::set<NodeId> seen;
+  for (int trial = 0; trial < 2000; ++trial) {
+    seen.insert(pattern_destination(SyntheticPattern::UniformRandom, mesh, 0, rng));
+  }
+  EXPECT_EQ(seen.size(), 15U);  // everything but the source
+}
+
+TEST(Patterns, BitComplement) {
+  const auto mesh = MeshShape::square(4);
+  Rng rng(1);
+  EXPECT_EQ(pattern_destination(SyntheticPattern::BitComplement, mesh, 0, rng), 15);
+  EXPECT_EQ(pattern_destination(SyntheticPattern::BitComplement, mesh, 15, rng), 0);
+  EXPECT_EQ(pattern_destination(SyntheticPattern::BitComplement, mesh, 5, rng), 10);
+}
+
+TEST(Patterns, BitComplementIsInvolution) {
+  const auto mesh = MeshShape::square(8);
+  Rng rng(1);
+  for (NodeId src = 0; src < mesh.node_count(); ++src) {
+    const NodeId dst = pattern_destination(SyntheticPattern::BitComplement, mesh, src, rng);
+    EXPECT_EQ(pattern_destination(SyntheticPattern::BitComplement, mesh, dst, rng), src);
+  }
+}
+
+TEST(Patterns, ShuffleRotatesLeft) {
+  const auto mesh = MeshShape::square(4);  // 16 nodes, 4 bits
+  Rng rng(1);
+  // 0b0101 (5) -> 0b1010 (10)
+  EXPECT_EQ(pattern_destination(SyntheticPattern::Shuffle, mesh, 5, rng), 10);
+  // 0b1000 (8) -> 0b0001 (1)
+  EXPECT_EQ(pattern_destination(SyntheticPattern::Shuffle, mesh, 8, rng), 1);
+}
+
+TEST(Patterns, BitRotationRotatesRight) {
+  const auto mesh = MeshShape::square(4);
+  Rng rng(1);
+  // 0b0101 (5) -> 0b1010 (10)
+  EXPECT_EQ(pattern_destination(SyntheticPattern::BitRotation, mesh, 5, rng), 10);
+  // 0b0001 (1) -> 0b1000 (8)
+  EXPECT_EQ(pattern_destination(SyntheticPattern::BitRotation, mesh, 1, rng), 8);
+}
+
+TEST(Patterns, ShuffleAndRotationAreInverse) {
+  const auto mesh = MeshShape::square(8);
+  Rng rng(1);
+  for (NodeId src = 0; src < mesh.node_count(); ++src) {
+    const NodeId mid = pattern_destination(SyntheticPattern::Shuffle, mesh, src, rng);
+    EXPECT_EQ(pattern_destination(SyntheticPattern::BitRotation, mesh, mid, rng), src);
+  }
+}
+
+TEST(Patterns, TornadoHalfwayOffset) {
+  const auto mesh = MeshShape::square(8);
+  Rng rng(1);
+  // (0,0) -> (+3, +3) = (3,3) = 27.
+  EXPECT_EQ(pattern_destination(SyntheticPattern::Tornado, mesh, 0, rng), 27);
+  // Wraps around: (7,7)=63 -> (2,2)=18.
+  EXPECT_EQ(pattern_destination(SyntheticPattern::Tornado, mesh, 63, rng), 18);
+}
+
+TEST(Patterns, NeighborIsNextInRow) {
+  const auto mesh = MeshShape::square(4);
+  Rng rng(1);
+  EXPECT_EQ(pattern_destination(SyntheticPattern::Neighbor, mesh, 0, rng), 1);
+  EXPECT_EQ(pattern_destination(SyntheticPattern::Neighbor, mesh, 3, rng), 0);   // wraps
+  EXPECT_EQ(pattern_destination(SyntheticPattern::Neighbor, mesh, 7, rng), 4);   // stays in row
+}
+
+class PermutationProperty : public ::testing::TestWithParam<SyntheticPattern> {};
+
+TEST_P(PermutationProperty, DeterministicPatternsArePermutations) {
+  const auto mesh = MeshShape::square(8);
+  Rng rng(1);
+  std::set<NodeId> images;
+  for (NodeId src = 0; src < mesh.node_count(); ++src) {
+    const NodeId dst = pattern_destination(GetParam(), mesh, src, rng);
+    EXPECT_TRUE(mesh.valid(dst));
+    images.insert(dst);
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(images.size()), mesh.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Deterministic, PermutationProperty,
+                         ::testing::Values(SyntheticPattern::Tornado, SyntheticPattern::Shuffle,
+                                           SyntheticPattern::Neighbor,
+                                           SyntheticPattern::BitRotation,
+                                           SyntheticPattern::BitComplement));
+
+}  // namespace
+}  // namespace dl2f::traffic

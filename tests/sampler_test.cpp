@@ -1,0 +1,117 @@
+#include "monitor/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/fdos.hpp"
+#include "traffic/simulation.hpp"
+
+namespace dl2f::monitor {
+namespace {
+
+TEST(Sampler, IdleMeshProducesAllZeroFrames) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(8);
+  noc::Mesh mesh(cfg);
+  mesh.run(100);
+  const FeatureSampler sampler(cfg.shape);
+  const auto vco = sampler.sample_vco(mesh);
+  auto boc = sampler.sample_boc(mesh);
+  for (Direction d : kMeshDirections) {
+    EXPECT_FLOAT_EQ(frame_of(vco, d).sum(), 0.0F);
+    EXPECT_FLOAT_EQ(frame_of(boc, d).sum(), 0.0F);
+  }
+}
+
+TEST(Sampler, BocShowsExactlyTheFloodedRoute) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(8);
+  noc::Mesh mesh(cfg);
+
+  traffic::AttackScenario s;
+  s.attackers = {0};
+  s.victim = 18;  // (2,2): route 0 -> 1 -> 2 -> 10 -> 18
+  s.fir = 1.0;
+  traffic::FloodingAttack attack(s, 3);
+  for (int c = 0; c < 300; ++c) {
+    attack.tick(mesh);
+    mesh.step();
+  }
+
+  const FeatureSampler sampler(cfg.shape);
+  const auto boc = sampler.sample_boc(mesh, /*reset=*/false);
+  const auto truth_ports = s.ground_truth_ports(cfg.shape);
+  const FrameGeometry& geom = sampler.geometry();
+
+  // Every on-route port has heavy traffic; every off-route port has none.
+  for (Direction d : kMeshDirections) {
+    const Frame& f = frame_of(boc, d);
+    for (std::int32_t r = 0; r < f.rows(); ++r) {
+      for (std::int32_t c = 0; c < f.cols(); ++c) {
+        const Coord coord = geom.to_coord(d, FramePos{r, c});
+        const NodeId node = cfg.shape.id_of(coord);
+        const bool on_route =
+            std::find(truth_ports.begin(), truth_ports.end(),
+                      std::make_pair(node, d)) != truth_ports.end();
+        if (on_route) {
+          EXPECT_GT(f.at(r, c), 100.0F) << to_string(d) << " node " << node;
+        } else {
+          EXPECT_FLOAT_EQ(f.at(r, c), 0.0F) << to_string(d) << " node " << node;
+        }
+      }
+    }
+  }
+}
+
+TEST(Sampler, BocResetStartsNewWindow) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(4);
+  noc::Mesh mesh(cfg);
+  mesh.inject(0, 3);
+  mesh.run(50);
+  const FeatureSampler sampler(cfg.shape);
+  const auto first = sampler.sample_boc(mesh, /*reset=*/true);
+  float total = 0;
+  for (Direction d : kMeshDirections) total += frame_of(first, d).sum();
+  EXPECT_GT(total, 0.0F);
+
+  const auto second = sampler.sample_boc(mesh, /*reset=*/true);
+  for (Direction d : kMeshDirections) EXPECT_FLOAT_EQ(frame_of(second, d).sum(), 0.0F);
+}
+
+TEST(Sampler, VcoReflectsCongestionUnderFlood) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(8);
+  noc::Mesh mesh(cfg);
+  traffic::AttackScenario s;
+  s.attackers = {0, 7};
+  s.victim = 59;
+  s.fir = 1.0;
+  traffic::FloodingAttack attack(s, 3);
+  for (int c = 0; c < 500; ++c) {
+    attack.tick(mesh);
+    mesh.step();
+  }
+  const FeatureSampler sampler(cfg.shape);
+  const auto vco = sampler.sample_vco(mesh);
+  float total = 0;
+  for (Direction d : kMeshDirections) total += frame_of(vco, d).sum();
+  EXPECT_GT(total, 0.5F);  // sustained flooding keeps VCs occupied
+}
+
+TEST(Sampler, VcoValuesWithinUnitInterval) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(8);
+  traffic::Simulation sim(cfg);
+  sim.add_generator(std::make_unique<traffic::SyntheticTraffic>(
+      traffic::SyntheticPattern::UniformRandom, 0.05, 5));
+  sim.run(500);
+  const FeatureSampler sampler(cfg.shape);
+  const auto vco = sampler.sample_vco(sim.mesh());
+  for (Direction d : kMeshDirections) {
+    EXPECT_GE(frame_of(vco, d).min_value(), 0.0F);
+    EXPECT_LE(frame_of(vco, d).max_value(), 1.0F);
+  }
+}
+
+}  // namespace
+}  // namespace dl2f::monitor

@@ -1,0 +1,50 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dl2f {
+namespace {
+
+TEST(TextTable, CellFormatsPrecision) {
+  EXPECT_EQ(TextTable::cell(0.916666, 3), "0.917");
+  EXPECT_EQ(TextTable::cell(1.0, 2), "1.00");
+}
+
+TEST(TextTable, PairCellUsesPaperLayout) {
+  EXPECT_EQ(TextTable::pair_cell(0.958, 0.917), "0.96|0.92");
+  EXPECT_EQ(TextTable::pair_cell(1.0, 0.5, 1), "1.0|0.5");
+}
+
+TEST(TextTable, PrintsHeaderSeparatorRows) {
+  TextTable t({"Metric", "Value"});
+  t.add_row({"Accuracy", "0.958"});
+  t.add_row({"Precision", "0.985"});
+  std::ostringstream ss;
+  ss << t;
+  const std::string s = ss.str();
+  EXPECT_NE(s.find("Metric"), std::string::npos);
+  EXPECT_NE(s.find("Accuracy"), std::string::npos);
+  EXPECT_NE(s.find("0.985"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);  // header + sep + 2 rows
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"A", "LongHeader"});
+  t.add_row({"LongCellContent", "x"});
+  std::ostringstream ss;
+  ss << t;
+  // Every line is equally padded up to the widest cell per column.
+  std::istringstream in(ss.str());
+  std::string line1, line2, line3;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  std::getline(in, line3);
+  EXPECT_EQ(line2.size(), std::string("LongCellContent").size() +
+                              std::string("LongHeader").size() + 4);
+}
+
+}  // namespace
+}  // namespace dl2f

@@ -1,0 +1,56 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dl2f::nn {
+namespace {
+
+TEST(Tensor3, ShapeAndIndexing) {
+  Tensor3 t(2, 3, 4);
+  EXPECT_EQ(t.channels(), 2);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_EQ(t.width(), 4);
+  EXPECT_EQ(t.size(), 24U);
+  EXPECT_EQ(t.plane_size(), 12U);
+  t.at(1, 2, 3) = 5.0F;
+  EXPECT_FLOAT_EQ(t.data()[23], 5.0F);
+  t.at(0, 0, 1) = 2.0F;
+  EXPECT_FLOAT_EQ(t.data()[1], 2.0F);
+}
+
+TEST(Tensor3, SameShape) {
+  EXPECT_TRUE(Tensor3(1, 2, 3).same_shape(Tensor3(1, 2, 3)));
+  EXPECT_FALSE(Tensor3(1, 2, 3).same_shape(Tensor3(1, 3, 2)));
+}
+
+TEST(Tensor3, FillSetsEverything) {
+  Tensor3 t(1, 2, 2);
+  t.fill(3.5F);
+  for (float v : t.data()) EXPECT_FLOAT_EQ(v, 3.5F);
+}
+
+TEST(Tensor3, FrameRoundTrip) {
+  Frame f(2, 3);
+  f.at(0, 1) = 1.5F;
+  f.at(1, 2) = -2.0F;
+  const Tensor3 t = Tensor3::from_frame(f);
+  EXPECT_EQ(t.channels(), 1);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.width(), 3);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 1), 1.5F);
+  EXPECT_EQ(t.to_frame(), f);
+}
+
+TEST(Tensor3, FromFramesStacksChannels) {
+  Frame a(2, 2, 1.0F);
+  Frame b(2, 2, 2.0F);
+  const Tensor3 t = Tensor3::from_frames({&a, &b});
+  EXPECT_EQ(t.channels(), 2);
+  EXPECT_FLOAT_EQ(t.at(0, 1, 1), 1.0F);
+  EXPECT_FLOAT_EQ(t.at(1, 0, 0), 2.0F);
+  EXPECT_EQ(t.to_frame(0), a);
+  EXPECT_EQ(t.to_frame(1), b);
+}
+
+}  // namespace
+}  // namespace dl2f::nn

@@ -1,0 +1,86 @@
+#include "core/vce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitor/dataset.hpp"
+#include "traffic/fdos.hpp"
+
+namespace dl2f::core {
+namespace {
+
+TEST(Vce, CompletesHolesInTheRoute) {
+  const auto mesh = MeshShape::square(8);
+  traffic::AttackScenario s;
+  s.attackers = {0};
+  s.victim = 36;
+  const auto truth = s.ground_truth_victims(mesh);
+
+  // Segmentation missed two mid-route victims.
+  std::vector<NodeId> partial = truth;
+  partial.erase(partial.begin() + 1);
+  partial.erase(partial.begin() + 2);
+
+  TlmResult tlm;
+  tlm.attackers = {0};
+  tlm.target_victims = {36};
+  const auto completed = victim_complementing_enhancement(mesh, tlm, partial);
+  EXPECT_EQ(completed, truth);
+}
+
+TEST(Vce, NoEndpointsMeansNoChange) {
+  const auto mesh = MeshShape::square(8);
+  const std::vector<NodeId> victims{1, 2, 3};
+  const auto out = victim_complementing_enhancement(mesh, TlmResult{}, victims);
+  EXPECT_EQ(out, victims);
+}
+
+TEST(Vce, IgnoresPairsWithNoOverlapEvidence) {
+  const auto mesh = MeshShape::square(8);
+  // Victims sit on row 0; the attacker/target pair routes through row 7.
+  TlmResult tlm;
+  tlm.attackers = {56};        // (0,7)
+  tlm.target_victims = {63};   // (7,7)
+  const std::vector<NodeId> victims{1, 2, 3};
+  const auto out = victim_complementing_enhancement(mesh, tlm, victims);
+  EXPECT_EQ(out, victims);  // no fabricated route
+}
+
+TEST(Vce, TwoAttackersCompleteBothRoutes) {
+  const auto mesh = MeshShape::square(16);
+  traffic::AttackScenario s;
+  s.attackers = {15, 192};
+  s.victim = 85;
+  const auto truth = s.ground_truth_victims(mesh);
+
+  // Keep only half the true victims (alternating) as the fused estimate.
+  std::vector<NodeId> partial;
+  for (std::size_t i = 0; i < truth.size(); i += 2) partial.push_back(truth[i]);
+
+  TlmResult tlm;
+  tlm.attackers = {15, 192};
+  tlm.target_victims = {85};
+  const auto completed = victim_complementing_enhancement(mesh, tlm, partial);
+  EXPECT_EQ(completed, truth);
+}
+
+TEST(Vce, OutputIsSortedUnique) {
+  const auto mesh = MeshShape::square(8);
+  TlmResult tlm;
+  tlm.attackers = {0};
+  tlm.target_victims = {3};
+  const auto out =
+      victim_complementing_enhancement(mesh, tlm, std::vector<NodeId>{3, 1, 1, 2});
+  EXPECT_EQ(out, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Vce, InvalidIdsAreIgnoredDefensively) {
+  const auto mesh = MeshShape::square(4);
+  TlmResult tlm;
+  tlm.attackers = {-3, 100};      // both out of range
+  tlm.target_victims = {2, 999};  // one valid, one not
+  const std::vector<NodeId> victims{1};
+  EXPECT_EQ(victim_complementing_enhancement(mesh, tlm, victims), victims);
+}
+
+}  // namespace
+}  // namespace dl2f::core
