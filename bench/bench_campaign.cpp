@@ -1,0 +1,73 @@
+// Campaign-engine throughput: sweep 5 scenario families x 4 seeds of
+// online defense runs and measure worker-pool scaling from 1 to 4
+// threads, verifying along the way that every worker count produces a
+// byte-identical campaign (the determinism contract).
+//
+// Scale: DL2F_BENCH_SCALE=paper widens the grid to 8 seeds.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "runtime/campaign.hpp"
+
+using namespace dl2f;
+
+int main() {
+  const MeshShape mesh = MeshShape::square(8);
+  const monitor::Benchmark benign{traffic::SyntheticPattern::UniformRandom};
+
+  const char* scale = std::getenv("DL2F_BENCH_SCALE");
+  const bool paper = scale != nullptr && std::string_view(scale) == "paper";
+
+  std::cout << "Training the shared model snapshot...\n";
+  runtime::TrainPreset preset;
+  const runtime::ModelSnapshot model = runtime::train_model_snapshot(mesh, benign, preset);
+
+  runtime::CampaignConfig cfg;
+  cfg.families = runtime::builtin_scenario_families();
+  cfg.seeds = paper ? std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}
+                    : std::vector<std::uint64_t>{1, 2, 3, 4};
+  cfg.windows = 10;
+  cfg.params.mesh = mesh;
+  cfg.params.benign = benign;
+  cfg.params.attack_start = 3 * cfg.defense.window_cycles;
+
+  const auto job_count = cfg.families.size() * cfg.seeds.size();
+  std::cout << "Campaign grid: " << cfg.families.size() << " families x " << cfg.seeds.size()
+            << " seeds = " << job_count << " jobs, " << cfg.windows << " windows each\n"
+            << "Hardware concurrency: " << std::thread::hardware_concurrency()
+            << " (speedup is bounded by available cores; jobs are fully independent)\n\n";
+
+  TextTable scaling({"Threads", "Wall (s)", "Jobs/s", "Speedup", "Identical"});
+  std::string reference;
+  double t1 = 0.0;
+  runtime::CampaignResult last;
+
+  for (const std::int32_t threads : {1, 2, 4}) {
+    cfg.threads = threads;
+    const auto begin = std::chrono::steady_clock::now();
+    runtime::CampaignResult result = run_campaign(cfg, model);
+    const auto end = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(end - begin).count();
+
+    const std::string dump = result.serialize();
+    if (reference.empty()) {
+      reference = dump;
+      t1 = secs;
+    } else if (dump != reference) {
+      std::cout << "FAIL: campaign with " << threads << " threads diverged from 1-thread run\n";
+      return 1;
+    }
+    scaling.add_row({std::to_string(threads), TextTable::cell(secs, 2),
+                     TextTable::cell(static_cast<double>(job_count) / secs, 2),
+                     TextTable::cell(t1 / secs, 2), "yes"});
+    last = std::move(result);
+  }
+
+  std::cout << "Worker-pool scaling (byte-identical results at every width):\n"
+            << scaling << '\n'
+            << "Per-family defense outcomes:\n"
+            << last.family_table(cfg.families) << '\n';
+  return 0;
+}

@@ -5,6 +5,13 @@
 //   (2) on anomaly, feature frames -> segmentation localizer;
 //   (3) MFF reconstructs attacking routes and victims; TLM finds attackers;
 //   (4) next sampling round repeats until no abnormal frames appear.
+//
+// runtime layer (src/runtime/): this class scores one monitoring window;
+// the online closed loop around it lives in runtime::DefenseRuntime, which
+// feeds live FeatureSampler windows through process(), quarantines the
+// TLM-named attackers at their network interfaces, and releases them after
+// a clean probation period. runtime::run_campaign fans that loop out over
+// a scenario×seed grid on a worker pool.
 #pragma once
 
 #include "core/detector.hpp"

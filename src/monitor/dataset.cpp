@@ -71,10 +71,9 @@ Dataset generate_dataset(const DatasetConfig& cfg, const std::vector<Benchmark>&
       mesh_cfg.router = cfg.router;
       traffic::Simulation sim(mesh_cfg);
       sim.add_generator(bench.make_generator(cfg.mesh, master.engine()()));
-      auto attack = std::make_unique<traffic::FloodingAttack>(scenario, master.engine()());
-      auto* attack_ptr = attack.get();
+      auto* attack_ptr =
+          sim.emplace_generator<traffic::FloodingAttack>(scenario, master.engine()());
       attack_ptr->set_active(false);
-      sim.add_generator(std::move(attack));
 
       const auto period = bench.sample_period();
       sim.run(cfg.warmup_cycles);

@@ -13,10 +13,15 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   }
   source_queues_.resize(n);
   inject_vc_.assign(n, -1);
+  quarantined_.assign(n, 0);
 }
 
 PacketId Mesh::inject(NodeId src, NodeId dst, std::int32_t length_flits, bool malicious) {
   assert(cfg_.shape.valid(src) && cfg_.shape.valid(dst));
+  if (quarantined_[static_cast<std::size_t>(src)] != 0) {
+    ++packets_dropped_;
+    return -1;
+  }
   PendingPacket p;
   p.id = next_packet_id_++;
   p.src = src;
@@ -149,6 +154,29 @@ void Mesh::step() {
 
 void Mesh::run(std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) step();
+}
+
+void Mesh::set_quarantined(NodeId id, bool quarantined) {
+  assert(cfg_.shape.valid(id));
+  quarantined_[static_cast<std::size_t>(id)] = quarantined ? 1 : 0;
+  if (!quarantined) return;
+  // Flush the pending backlog too: a saturating attacker accumulates
+  // thousands of queued packets, which would otherwise keep flooding for
+  // whole windows after the fence. A packet already mid-serialization must
+  // finish (dropping it would strand a tail-less wormhole packet that
+  // holds its virtual channels forever); everything behind it is dropped.
+  auto& q = source_queues_[static_cast<std::size_t>(id)];
+  const std::size_t keep = (!q.empty() && q.front().flits_sent > 0) ? 1 : 0;
+  packets_dropped_ += static_cast<std::int64_t>(q.size() - keep);
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(keep), q.end());
+}
+
+std::vector<NodeId> Mesh::quarantined_nodes() const {
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+    if (quarantined_[i] != 0) nodes.push_back(static_cast<NodeId>(i));
+  }
+  return nodes;
 }
 
 std::int64_t Mesh::flits_in_network() const {

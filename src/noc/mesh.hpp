@@ -39,8 +39,26 @@ class Mesh {
   }
 
   /// Queue a packet at `src`'s network interface. Uses the configured
-  /// default length when `length_flits <= 0`.
+  /// default length when `length_flits <= 0`. Returns -1 (and drops the
+  /// packet) when `src` is quarantined.
   PacketId inject(NodeId src, NodeId dst, std::int32_t length_flits = 0, bool malicious = false);
+
+  /// Mitigation hook: a quarantined node's network interface drops every
+  /// packet it is asked to inject, and fencing also flushes the node's
+  /// queued source backlog (except a packet already mid-serialization,
+  /// which must finish to release its virtual channels) — the runtime
+  /// defense fences a suspected attacker's injection port. In-flight
+  /// traffic is unaffected, so the network drains the flood instead of
+  /// freezing it.
+  void set_quarantined(NodeId id, bool quarantined);
+  [[nodiscard]] bool quarantined(NodeId id) const {
+    assert(cfg_.shape.valid(id));
+    return quarantined_[static_cast<std::size_t>(id)] != 0;
+  }
+  /// Currently fenced nodes, ascending.
+  [[nodiscard]] std::vector<NodeId> quarantined_nodes() const;
+  /// Packets dropped at quarantined injection ports so far.
+  [[nodiscard]] std::int64_t packets_dropped() const noexcept { return packets_dropped_; }
 
   /// Advance the whole network by one cycle.
   void step();
@@ -83,6 +101,8 @@ class Mesh {
   std::vector<std::deque<PendingPacket>> source_queues_;
   /// Local-input VC each NI is currently serializing into (-1 = none).
   std::vector<std::int32_t> inject_vc_;
+  std::vector<char> quarantined_;
+  std::int64_t packets_dropped_ = 0;
   std::size_t max_queue_len_ = 0;
   LatencyStats stats_;
   LatencyStats benign_stats_;

@@ -1,6 +1,21 @@
 #include "noc/stats.hpp"
 
+#include <algorithm>
+
 namespace dl2f::noc {
+
+double histogram_percentile(const std::vector<std::int64_t>& hist, double q) noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t c : hist) total += c;
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::int64_t>(q * static_cast<double>(total - 1));
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    seen += hist[b];
+    if (seen > rank) return static_cast<double>(b);
+  }
+  return static_cast<double>(hist.size() - 1);
+}
 
 void LatencyStats::on_flit_ejected(const Flit& flit, Cycle now) {
   flit_queue_.add(static_cast<double>(flit.injected - flit.created));
@@ -10,6 +25,8 @@ void LatencyStats::on_flit_ejected(const Flit& flit, Cycle now) {
 void LatencyStats::on_packet_ejected(const Flit& tail, Cycle now) {
   packet_queue_.add(static_cast<double>(tail.injected - tail.created));
   packet_total_.add(static_cast<double>(now - tail.created));
+  const auto lat = static_cast<std::size_t>(std::max<Cycle>(now - tail.created, 0));
+  ++packet_hist_[std::min(lat, kLatencyBuckets - 1)];
 }
 
 void LatencyStats::reset() noexcept {
@@ -17,6 +34,7 @@ void LatencyStats::reset() noexcept {
   flit_total_.reset();
   packet_queue_.reset();
   packet_total_.reset();
+  std::fill(packet_hist_.begin(), packet_hist_.end(), 0);
 }
 
 }  // namespace dl2f::noc

@@ -4,10 +4,16 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "noc/flit.hpp"
 
 namespace dl2f::noc {
+
+/// q-th percentile (q in [0,1]) of a latency histogram whose bucket index
+/// is the latency in cycles (last bucket accumulates the overflow tail).
+/// Returns 0 on an empty histogram.
+[[nodiscard]] double histogram_percentile(const std::vector<std::int64_t>& hist, double q) noexcept;
 
 /// Simple accumulating mean.
 class RunningMean {
@@ -19,6 +25,7 @@ class RunningMean {
   [[nodiscard]] double mean() const noexcept {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] std::int64_t count() const noexcept { return count_; }
   void reset() noexcept { sum_ = 0.0; count_ = 0; }
 
@@ -38,9 +45,22 @@ class LatencyStats {
   [[nodiscard]] double avg_flit_latency() const noexcept { return flit_total_.mean(); }
   [[nodiscard]] double avg_packet_queue_latency() const noexcept { return packet_queue_.mean(); }
   [[nodiscard]] double avg_packet_latency() const noexcept { return packet_total_.mean(); }
+  /// Exact accumulated packet latency (for windowed deltas).
+  [[nodiscard]] double packet_latency_sum() const noexcept { return packet_total_.sum(); }
 
   [[nodiscard]] std::int64_t flits_ejected() const noexcept { return flit_total_.count(); }
   [[nodiscard]] std::int64_t packets_ejected() const noexcept { return packet_total_.count(); }
+
+  /// One bucket per cycle of packet total latency, overflow in the last
+  /// bucket — lets the defense runtime report p50/p99 tails, not just
+  /// means, and diff window snapshots for per-window percentiles.
+  static constexpr std::size_t kLatencyBuckets = 2048;
+  [[nodiscard]] const std::vector<std::int64_t>& packet_latency_histogram() const noexcept {
+    return packet_hist_;
+  }
+  [[nodiscard]] double packet_latency_percentile(double q) const noexcept {
+    return histogram_percentile(packet_hist_, q);
+  }
 
   void reset() noexcept;
 
@@ -49,6 +69,7 @@ class LatencyStats {
   RunningMean flit_total_;
   RunningMean packet_queue_;
   RunningMean packet_total_;
+  std::vector<std::int64_t> packet_hist_ = std::vector<std::int64_t>(kLatencyBuckets, 0);
 };
 
 }  // namespace dl2f::noc

@@ -1,0 +1,223 @@
+#include "runtime/campaign.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/detector.hpp"
+#include "core/localizer.hpp"
+#include "monitor/dataset.hpp"
+
+namespace dl2f::runtime {
+namespace {
+
+/// FNV-1a: a platform-stable family-name hash (std::hash is not portable),
+/// mixed into each job's seed so families draw decorrelated placements.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+JobResult run_job(const CampaignConfig& cfg, core::Dl2Fence& fence, const std::string& family,
+                  std::uint64_t seed) {
+  JobResult result;
+  result.family = family;
+  result.seed = seed;
+
+  const std::uint64_t job_seed = seed ^ fnv1a(family);
+  auto scenario = ScenarioRegistry::instance().make(family, cfg.params, job_seed);
+  if (scenario == nullptr) {
+    // A registered factory may still return nullptr for params it cannot
+    // serve; surface that as a diagnosable error, not a worker crash.
+    throw std::invalid_argument("run_campaign: scenario factory '" + family +
+                                "' returned nullptr for the campaign params");
+  }
+
+  noc::MeshConfig mesh_cfg;
+  mesh_cfg.shape = cfg.params.mesh;
+  mesh_cfg.router = cfg.router;
+  traffic::Simulation sim(mesh_cfg);
+  scenario->install(sim, job_seed ^ 0x9e3779b97f4a7c15ULL);
+
+  DefenseRuntime runtime(sim, fence, cfg.defense);
+  runtime.attach_scenario(scenario.get());
+  runtime.run_windows(cfg.windows);
+  result.summary = runtime.summarize(cfg.recovery_ratio);
+  return result;
+}
+
+}  // namespace
+
+ModelSnapshot ModelSnapshot::capture(core::Dl2Fence& fence) {
+  ModelSnapshot snap;
+  snap.config = fence.config();
+  std::ostringstream det, loc;
+  fence.detector().model().save(det);
+  fence.localizer().model().save(loc);
+  snap.detector_weights = det.str();
+  snap.localizer_weights = loc.str();
+  return snap;
+}
+
+core::Dl2Fence ModelSnapshot::restore() const {
+  core::Dl2Fence fence(config);
+  std::istringstream det(detector_weights), loc(localizer_weights);
+  if (!fence.detector().model().load(det) || !fence.localizer().model().load(loc)) {
+    // A silently garbage-weighted pipeline would run the whole campaign
+    // and emit meaningless metrics; fail loudly instead.
+    throw std::runtime_error("ModelSnapshot::restore: weight blob does not match the model");
+  }
+  return fence;
+}
+
+ModelSnapshot train_model_snapshot(const MeshShape& mesh, const monitor::Benchmark& benign,
+                                   const TrainPreset& preset) {
+  monitor::DatasetConfig data_cfg;
+  data_cfg.mesh = mesh;
+  data_cfg.scenarios_per_benchmark = preset.scenarios;
+  data_cfg.benign_samples_per_run = preset.benign_samples;
+  data_cfg.attack_samples_per_run = preset.attack_samples;
+  data_cfg.seed = preset.seed;
+  const monitor::Dataset data = monitor::generate_dataset(data_cfg, {benign});
+
+  core::Dl2Fence fence(core::Dl2FenceConfig::paper_default(mesh));
+  core::TrainConfig det_cfg;
+  det_cfg.epochs = preset.detector_epochs;
+  det_cfg.seed = preset.seed ^ 0x42;
+  core::train_detector(fence.detector(), data, det_cfg);
+  core::LocalizerTrainConfig loc_cfg;
+  loc_cfg.epochs = preset.localizer_epochs;
+  loc_cfg.seed = preset.seed ^ 0x43;
+  core::train_localizer(fence.localizer(), data, loc_cfg);
+  return ModelSnapshot::capture(fence);
+}
+
+CampaignResult run_campaign(const CampaignConfig& cfg, const ModelSnapshot& model) {
+  // Validate the grid before any worker spawns: a typo'd family name or a
+  // mesh/model mismatch must be a diagnosable error, not a crash inside a
+  // worker thread.
+  if (!(cfg.params.mesh == model.config.detector.mesh)) {
+    throw std::invalid_argument("run_campaign: cfg.params.mesh does not match the model's mesh");
+  }
+  for (const auto& family : cfg.families) {
+    if (!ScenarioRegistry::instance().contains(family)) {
+      throw std::invalid_argument("run_campaign: unknown scenario family '" + family + "'");
+    }
+  }
+
+  struct Job {
+    const std::string* family;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.families.size() * cfg.seeds.size());
+  for (const auto& family : cfg.families) {
+    for (const std::uint64_t seed : cfg.seeds) jobs.push_back(Job{&family, seed});
+  }
+
+  CampaignResult result;
+  result.jobs.resize(jobs.size());
+  if (jobs.empty()) return result;
+
+  // Touch the registry singleton before spawning workers so its lazy
+  // construction never races.
+  (void)ScenarioRegistry::instance().names();
+
+  const auto worker_count = static_cast<std::size_t>(
+      std::max(1, std::min<std::int32_t>(cfg.threads, static_cast<std::int32_t>(jobs.size()))));
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    // One deserialized pipeline per worker; inference is read-only, so
+    // reuse across this worker's jobs is safe and deterministic. A worker
+    // exception (bad snapshot, factory refusing the params) stops the pool
+    // and is rethrown to the caller instead of terminating the process.
+    try {
+      core::Dl2Fence fence = model.restore();
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = cursor.fetch_add(1);
+        if (i >= jobs.size()) break;
+        result.jobs[i] = run_job(cfg, fence, *jobs[i].family, jobs[i].seed);
+      }
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      if (first_error == nullptr) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (worker_count == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(worker_count);
+    for (std::size_t t = 0; t < worker_count; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return result;
+}
+
+TextTable CampaignResult::family_table(const std::vector<std::string>& family_order) const {
+  TextTable table({"Scenario", "Jobs", "Det acc", "Det F1", "Attacker F1", "Mitigated",
+                   "TTM (cyc)", "Recovered", "Lat ratio"});
+  for (const auto& family : family_order) {
+    double det_acc = 0.0, det_f1 = 0.0, atk_f1 = 0.0, ttm = 0.0, ratio = 0.0;
+    std::int64_t n = 0, mitigated = 0, recovered = 0;
+    for (const auto& job : jobs) {
+      if (job.family != family) continue;
+      ++n;
+      det_acc += job.summary.detection.accuracy;
+      det_f1 += job.summary.detection.f1;
+      atk_f1 += job.summary.attacker_id.f1;
+      if (job.summary.mitigated()) {
+        ++mitigated;
+        ttm += static_cast<double>(job.summary.time_to_mitigate());
+      }
+      if (job.summary.recovered() && job.summary.baseline_latency > 0.0) {
+        ++recovered;
+        ratio += job.summary.recovered_latency / job.summary.baseline_latency;
+      }
+    }
+    if (n == 0) continue;
+    const auto dn = static_cast<double>(n);
+    table.add_row({family, std::to_string(n), TextTable::cell(det_acc / dn),
+                   TextTable::cell(det_f1 / dn), TextTable::cell(atk_f1 / dn),
+                   TextTable::cell(static_cast<double>(mitigated) / dn, 2),
+                   mitigated > 0 ? TextTable::cell(ttm / static_cast<double>(mitigated), 0)
+                                 : "-",
+                   TextTable::cell(static_cast<double>(recovered) / dn, 2),
+                   recovered > 0 ? TextTable::cell(ratio / static_cast<double>(recovered), 2)
+                                 : "-"});
+  }
+  return table;
+}
+
+std::string CampaignResult::serialize() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6);
+  for (const auto& job : jobs) {
+    const auto& s = job.summary;
+    os << job.family << ' ' << job.seed << " windows=" << s.windows
+       << " det_acc=" << s.detection.accuracy << " det_f1=" << s.detection.f1
+       << " atk_f1=" << s.attacker_id.f1 << " first_attack=" << s.first_attack_cycle
+       << " detect=" << s.detect_cycle << " mitigate=" << s.mitigate_cycle
+       << " recover=" << s.recover_cycle << " baseline=" << s.baseline_latency
+       << " baseline_p50=" << s.baseline_p50 << " baseline_p99=" << s.baseline_p99
+       << " peak=" << s.peak_latency << " recovered=" << s.recovered_latency << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dl2f::runtime

@@ -1,0 +1,86 @@
+// Parallel scenario-campaign engine: sweep a scenario-family × seed grid
+// of online defense runs on a worker pool and aggregate the results into
+// the repo's TextTable reports.
+//
+// Scaling model: one complete, independent Simulation + DefenseRuntime per
+// job; a worker pool of std::threads drains the job grid through an atomic
+// cursor. The trained CNN pair is shared as a ModelSnapshot — serialized
+// weights each worker deserializes into its own Dl2Fence once — so jobs
+// never share mutable state and results are byte-identical for any worker
+// count (each job's randomness derives only from its own grid coordinates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runtime/defense.hpp"
+#include "runtime/scenario.hpp"
+
+namespace dl2f::runtime {
+
+/// A trained Dl2Fence frozen as bytes, cheap to copy across workers.
+struct ModelSnapshot {
+  core::Dl2FenceConfig config;
+  std::string detector_weights;
+  std::string localizer_weights;
+
+  static ModelSnapshot capture(core::Dl2Fence& fence);
+  /// Rebuild a live pipeline from the frozen weights.
+  [[nodiscard]] core::Dl2Fence restore() const;
+};
+
+/// Dataset/training budget for train_model_snapshot (defaults sized for
+/// an 8x8 mesh in a few tens of seconds).
+struct TrainPreset {
+  std::int32_t scenarios = 8;
+  std::int32_t benign_samples = 3;
+  std::int32_t attack_samples = 3;
+  std::int32_t detector_epochs = 50;
+  std::int32_t localizer_epochs = 25;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Simulate, train and freeze a detector/localizer pair for `mesh` on the
+/// given benign workload with FDoS overlays (the paper's VCO+BOC config).
+[[nodiscard]] ModelSnapshot train_model_snapshot(const MeshShape& mesh,
+                                                 const monitor::Benchmark& benign,
+                                                 const TrainPreset& preset);
+
+struct CampaignConfig {
+  /// Grid axes: every family must exist in ScenarioRegistry.
+  std::vector<std::string> families = builtin_scenario_families();
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  std::int32_t threads = 1;
+  std::int32_t windows = 12;  ///< monitoring windows per job
+  ScenarioParams params;      ///< params.mesh must match the model's mesh
+  DefenseConfig defense;
+  noc::RouterConfig router;
+  double recovery_ratio = 2.0;
+};
+
+struct JobResult {
+  std::string family;
+  std::uint64_t seed = 0;
+  DefenseSummary summary;
+};
+
+struct CampaignResult {
+  std::vector<JobResult> jobs;  ///< grid order: family-major, seed-minor
+
+  /// One aggregate row per family: detection accuracy, attacker-id F1,
+  /// mitigation/recovery rates, mean time-to-mitigate and latency ratio.
+  [[nodiscard]] TextTable family_table(const std::vector<std::string>& family_order) const;
+
+  /// Deterministic fixed-precision dump of every job — equal strings mean
+  /// equal campaigns (the worker-count determinism contract).
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Run the full grid. Throws std::invalid_argument before any worker
+/// starts if a family is not registered or cfg.params.mesh differs from
+/// the snapshot's mesh.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& cfg, const ModelSnapshot& model);
+
+}  // namespace dl2f::runtime

@@ -1,0 +1,269 @@
+#include "runtime/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dl2f::runtime {
+namespace {
+
+/// splitmix64 — decorrelates the sub-seeds derived from one scenario seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Shared plumbing: the attack "legs" (one AttackScenario each) are fixed
+/// at construction — ground truth is queryable before install() — and
+/// install() materializes one FloodingAttack generator per leg.
+class FdosScenarioBase : public Scenario {
+ public:
+  FdosScenarioBase(std::string family, const ScenarioParams& params)
+      : Scenario(std::move(family)), params_(params) {}
+
+  void install(traffic::Simulation& sim, std::uint64_t seed) override {
+    assert(attacks_.empty() && "install() must be called exactly once");
+    sim.add_generator(params_.benign.make_generator(params_.mesh, mix64(seed ^ 1)));
+    for (std::size_t k = 0; k < legs_.size(); ++k) {
+      auto* attack =
+          sim.emplace_generator<traffic::FloodingAttack>(legs_[k], mix64(seed ^ (3 + k)));
+      attack->set_active(false);  // dynamics switch legs on via on_cycle
+      attacks_.push_back(attack);
+    }
+  }
+
+  [[nodiscard]] std::vector<NodeId> all_attackers() const override {
+    std::vector<NodeId> nodes;
+    for (const auto& leg : legs_) {
+      nodes.insert(nodes.end(), leg.attackers.begin(), leg.attackers.end());
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    return nodes;
+  }
+
+ protected:
+  [[nodiscard]] bool started(noc::Cycle at) const noexcept { return at >= params_.attack_start; }
+
+  ScenarioParams params_;
+  std::vector<traffic::AttackScenario> legs_;      ///< fixed at construction
+  std::vector<traffic::FloodingAttack*> attacks_;  ///< live handles, one per leg
+};
+
+/// The paper's threat model: fixed attackers, fixed victim, fixed FIR.
+class StaticFdos final : public FdosScenarioBase {
+ public:
+  StaticFdos(const ScenarioParams& params, std::uint64_t seed)
+      : FdosScenarioBase("static", params) {
+    legs_.push_back(traffic::make_scenarios(params.mesh, 1, params.num_attackers, params.fir,
+                                            mix64(seed))[0]);
+  }
+
+  void on_cycle(noc::Cycle now) override { attacks_[0]->set_active(started(now)); }
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    return started(at) ? legs_[0].attackers : std::vector<NodeId>{};
+  }
+};
+
+/// On/off square-wave flooding: `burst_duty` of every `burst_period` on.
+/// Stresses probation — a defense that releases too eagerly re-admits the
+/// attacker exactly when the next burst fires.
+class TransientFdos final : public FdosScenarioBase {
+ public:
+  TransientFdos(const ScenarioParams& params, std::uint64_t seed)
+      : FdosScenarioBase("transient", params) {
+    assert(params.burst_period > 0);
+    legs_.push_back(traffic::make_scenarios(params.mesh, 1, params.num_attackers, params.fir,
+                                            mix64(seed))[0]);
+  }
+
+  void on_cycle(noc::Cycle now) override { attacks_[0]->set_active(burst_on(now)); }
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    return burst_on(at) ? legs_[0].attackers : std::vector<NodeId>{};
+  }
+
+ private:
+  [[nodiscard]] bool burst_on(noc::Cycle at) const noexcept {
+    if (!started(at)) return false;
+    const auto phase = (at - params_.attack_start) % params_.burst_period;
+    return static_cast<double>(phase) <
+           params_.burst_duty * static_cast<double>(params_.burst_period);
+  }
+};
+
+/// The same attackers retarget a new victim every `sweep_period` cycles —
+/// the flooding route, and therefore the segmentation signature, moves.
+class VictimSweepFdos final : public FdosScenarioBase {
+ public:
+  VictimSweepFdos(const ScenarioParams& params, std::uint64_t seed)
+      : FdosScenarioBase("victim-sweep", params) {
+    assert(params.sweep_period > 0 && params.sweep_victims >= 1);
+    Rng rng(mix64(seed));
+    const auto base = traffic::make_scenarios(params.mesh, 1, params.num_attackers, params.fir,
+                                              rng.engine()())[0];
+    legs_.push_back(base);
+    // Further victims: distinct, off the attacker set, >= 2 hops from every
+    // attacker so each leg leaves a localizable route. Bounded attempts —
+    // a small mesh may not hold sweep_victims such victims, in which case
+    // the sweep degrades to the legs that fit.
+    const auto n = params.mesh.node_count();
+    for (std::int64_t attempt = 0; attempt < 64LL * params.sweep_victims &&
+                                   static_cast<std::int32_t>(legs_.size()) < params.sweep_victims;
+         ++attempt) {
+      const auto cand = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      const bool is_attacker = std::find(base.attackers.begin(), base.attackers.end(), cand) !=
+                               base.attackers.end();
+      const bool used = std::any_of(legs_.begin(), legs_.end(),
+                                    [&](const auto& leg) { return leg.victim == cand; });
+      const bool too_close = std::any_of(base.attackers.begin(), base.attackers.end(),
+                                         [&](NodeId a) {
+                                           return params.mesh.hop_distance(a, cand) < 2;
+                                         });
+      if (is_attacker || used || too_close) continue;
+      traffic::AttackScenario leg = base;
+      leg.victim = cand;
+      legs_.push_back(std::move(leg));
+    }
+  }
+
+  void on_cycle(noc::Cycle now) override {
+    const auto idx = current_target(now);
+    for (std::size_t k = 0; k < attacks_.size(); ++k) {
+      attacks_[k]->set_active(idx == static_cast<std::int64_t>(k));
+    }
+  }
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    return started(at) ? legs_[0].attackers : std::vector<NodeId>{};
+  }
+
+ private:
+  /// Active target index at `at`, or -1 before the attack starts.
+  [[nodiscard]] std::int64_t current_target(noc::Cycle at) const noexcept {
+    if (!started(at)) return -1;
+    return ((at - params_.attack_start) / params_.sweep_period) %
+           static_cast<std::int64_t>(legs_.size());
+  }
+};
+
+/// Colluding attackers flooding *different* victims simultaneously — the
+/// multi-route case the single-victim TLM table only covers via the flow
+/// graph generalization.
+class MultiVictimFdos final : public FdosScenarioBase {
+ public:
+  MultiVictimFdos(const ScenarioParams& params, std::uint64_t seed)
+      : FdosScenarioBase("multi-victim", params) {
+    // Draw independent single-attacker legs, keeping attacker nodes
+    // distinct across legs (victims may repeat — that is allowed
+    // collusion). Bounded attempts: on a mesh too small for
+    // num_attackers distinct placements, fewer legs result.
+    Rng rng(mix64(seed));
+    std::vector<NodeId> used;
+    for (std::int64_t attempt = 0; attempt < 64LL * params.num_attackers &&
+                                   static_cast<std::int32_t>(legs_.size()) < params.num_attackers;
+         ++attempt) {
+      const auto cand = traffic::make_scenarios(params.mesh, 1, 1, params.fir, rng.engine()())[0];
+      if (std::find(used.begin(), used.end(), cand.attackers[0]) != used.end()) continue;
+      used.push_back(cand.attackers[0]);
+      legs_.push_back(cand);
+    }
+  }
+
+  void on_cycle(noc::Cycle now) override {
+    for (auto* a : attacks_) a->set_active(started(now));
+  }
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    if (!started(at)) return {};
+    return all_attackers();
+  }
+};
+
+/// FIR climbs linearly from ramp_start_fir to the full rate — a stealthy
+/// attacker probing how much pressure goes undetected.
+class RampFdos final : public FdosScenarioBase {
+ public:
+  RampFdos(const ScenarioParams& params, std::uint64_t seed) : FdosScenarioBase("ramp", params) {
+    legs_.push_back(traffic::make_scenarios(params.mesh, 1, params.num_attackers, params.fir,
+                                            mix64(seed))[0]);
+  }
+
+  void on_cycle(noc::Cycle now) override {
+    auto* attack = attacks_[0];
+    if (!started(now)) {
+      attack->set_active(false);
+      return;
+    }
+    attack->set_active(true);
+    attack->set_fir(fir_at(now));
+  }
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    return started(at) ? legs_[0].attackers : std::vector<NodeId>{};
+  }
+
+ private:
+  [[nodiscard]] double fir_at(noc::Cycle at) const noexcept {
+    if (params_.ramp_cycles <= 0) return params_.fir;
+    const double frac = std::min(1.0, static_cast<double>(at - params_.attack_start) /
+                                          static_cast<double>(params_.ramp_cycles));
+    return params_.ramp_start_fir + (params_.fir - params_.ramp_start_fir) * frac;
+  }
+};
+
+}  // namespace
+
+ScenarioRegistry::ScenarioRegistry() {
+  add("static", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<StaticFdos>(p, s);
+  });
+  add("transient", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<TransientFdos>(p, s);
+  });
+  add("victim-sweep", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<VictimSweepFdos>(p, s);
+  });
+  add("multi-victim", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<MultiVictimFdos>(p, s);
+  });
+  add("ramp", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<RampFdos>(p, s);
+  });
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool ScenarioRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::unique_ptr<Scenario> ScenarioRegistry::make(std::string_view name,
+                                                 const ScenarioParams& params,
+                                                 std::uint64_t seed) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second(params, seed);
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> builtin_scenario_families() {
+  return {"static", "transient", "victim-sweep", "multi-victim", "ramp"};
+}
+
+}  // namespace dl2f::runtime

@@ -1,0 +1,109 @@
+// Named attack-scenario families for the online defense runtime.
+//
+// The paper evaluates one static threat shape: fixed attackers flooding a
+// fixed victim at a fixed FIR. A production defense must survive attacks
+// that move — so a Scenario owns the *dynamics* of an attack overlaid on a
+// benign workload: it installs generators into a Simulation once, then is
+// advanced cycle by cycle (on_cycle) to toggle, retarget or retune the
+// flooding mid-run. It also answers the ground-truth question "which
+// attacker nodes are flooding at cycle t", which the DefenseRuntime scores
+// detection and attacker-identification against.
+//
+// Families ship through a string-keyed ScenarioRegistry so campaigns can
+// name their grid axes ("static", "transient", "victim-sweep",
+// "multi-victim", "ramp") and downstream users can register their own.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monitor/benchmark.hpp"
+#include "traffic/fdos.hpp"
+#include "traffic/simulation.hpp"
+
+namespace dl2f::runtime {
+
+/// Shared knobs of every scenario family; per-family fields are ignored by
+/// families that do not use them.
+struct ScenarioParams {
+  MeshShape mesh = MeshShape::square(8);
+  /// Benign background workload the attack overlays (§2.3).
+  monitor::Benchmark benign{traffic::SyntheticPattern::UniformRandom};
+  double fir = 0.8;
+  std::int32_t num_attackers = 2;
+  /// Cycle the attack switches on (benign-only before that).
+  noc::Cycle attack_start = 3000;
+
+  // transient: square-wave flooding with this full period and on-fraction.
+  noc::Cycle burst_period = 2000;
+  double burst_duty = 0.5;
+
+  // victim-sweep: retarget to the next victim every sweep_period cycles.
+  noc::Cycle sweep_period = 2000;
+  std::int32_t sweep_victims = 3;
+
+  // ramp: FIR climbs linearly from ramp_start_fir to fir over ramp_cycles.
+  noc::Cycle ramp_cycles = 6000;
+  double ramp_start_fir = 0.1;
+};
+
+/// One live attack campaign on one Simulation.
+class Scenario {
+ public:
+  explicit Scenario(std::string family) : family_(std::move(family)) {}
+  virtual ~Scenario() = default;
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  [[nodiscard]] const std::string& family() const noexcept { return family_; }
+
+  /// Install the benign generator and the attack generators; call exactly
+  /// once before stepping the simulation.
+  virtual void install(traffic::Simulation& sim, std::uint64_t seed) = 0;
+
+  /// Advance the attack dynamics to cycle `now`; call once per cycle
+  /// before Simulation::step().
+  virtual void on_cycle(noc::Cycle now) = 0;
+
+  /// Ground truth: attacker nodes whose flooding is switched on at `at`.
+  [[nodiscard]] virtual std::vector<NodeId> active_attackers(noc::Cycle at) const = 0;
+
+  [[nodiscard]] bool attack_active(noc::Cycle at) const { return !active_attackers(at).empty(); }
+
+  /// Every attacker node the scenario ever uses (for reporting).
+  [[nodiscard]] virtual std::vector<NodeId> all_attackers() const = 0;
+
+ private:
+  std::string family_;
+};
+
+/// String-keyed factory registry; the built-in families are registered on
+/// first access, user families can be added (same name overwrites).
+class ScenarioRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Scenario>(const ScenarioParams&, std::uint64_t seed)>;
+
+  static ScenarioRegistry& instance();
+
+  void add(std::string name, Factory factory);
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// nullptr when `name` is not registered.
+  [[nodiscard]] std::unique_ptr<Scenario> make(std::string_view name, const ScenarioParams& params,
+                                               std::uint64_t seed) const;
+  /// Registered family names, ascending.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  ScenarioRegistry();
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+/// The five built-in family names.
+[[nodiscard]] std::vector<std::string> builtin_scenario_families();
+
+}  // namespace dl2f::runtime

@@ -48,6 +48,11 @@ class FloodingAttack final : public TrafficGenerator {
   /// Enable/disable at runtime (used to build mixed benign/attack traces).
   void set_active(bool active) noexcept { active_ = active; }
   [[nodiscard]] bool active() const noexcept { return active_; }
+  /// Retune the flooding injection rate mid-run (ramping-attack scenarios).
+  void set_fir(double fir) noexcept {
+    assert(fir >= 0.0 && fir <= 1.0);
+    scenario_.fir = fir;
+  }
 
  private:
   AttackScenario scenario_;

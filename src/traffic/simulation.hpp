@@ -14,8 +14,21 @@ class Simulation {
   explicit Simulation(const noc::MeshConfig& cfg) : mesh_(cfg) {}
 
   /// Generators tick in insertion order each cycle, before the mesh steps.
-  void add_generator(std::unique_ptr<TrafficGenerator> gen) {
+  /// Returns a non-owning handle (valid for the Simulation's lifetime) so
+  /// callers keep driving the generator after the ownership move — e.g.
+  /// scenarios toggling FloodingAttack::set_active mid-run.
+  TrafficGenerator* add_generator(std::unique_ptr<TrafficGenerator> gen) {
     generators_.push_back(std::move(gen));
+    return generators_.back().get();
+  }
+
+  /// Construct a generator in place; returns a typed non-owning handle.
+  template <typename T, typename... Args>
+  T* emplace_generator(Args&&... args) {
+    auto gen = std::make_unique<T>(std::forward<Args>(args)...);
+    T* handle = gen.get();
+    add_generator(std::move(gen));
+    return handle;
   }
 
   void step() {

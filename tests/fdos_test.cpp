@@ -73,6 +73,35 @@ TEST(FloodingAttack, FirControlsInjectionVolume) {
   }
 }
 
+TEST(FloodingAttack, SetFirRetunesInjectionVolumeMidRun) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(8);
+  noc::Mesh mesh(cfg);
+  AttackScenario s;
+  s.attackers = {0};
+  s.victim = 63;
+  s.fir = 0.1;
+  FloodingAttack attack(s, 5);
+
+  const auto run_span = [&](int cycles) {
+    const auto before = mesh.stats().packets_ejected();
+    for (int c = 0; c < cycles; ++c) {
+      attack.tick(mesh);
+      mesh.step();
+    }
+    std::int64_t spare = 100000;
+    while (!mesh.drained() && spare-- > 0) mesh.step();
+    return mesh.stats().packets_ejected() - before;
+  };
+
+  const auto low = run_span(2000);
+  attack.set_fir(0.8);
+  EXPECT_DOUBLE_EQ(attack.scenario().fir, 0.8);
+  const auto high = run_span(2000);
+  EXPECT_NEAR(static_cast<double>(low) / 2000, 0.1, 0.03);
+  EXPECT_NEAR(static_cast<double>(high) / 2000, 0.8, 0.05);
+}
+
 TEST(FloodingAttack, InactiveInjectsNothing) {
   noc::MeshConfig cfg;
   cfg.shape = MeshShape::square(4);

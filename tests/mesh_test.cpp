@@ -153,5 +153,67 @@ TEST(Mesh, StatsResetClearsAverages) {
   EXPECT_DOUBLE_EQ(mesh.stats().avg_packet_latency(), 0.0);
 }
 
+TEST(Mesh, QuarantineDropsInjectionAtTheSourceAndReleases) {
+  Mesh mesh(small_mesh());
+  mesh.set_quarantined(0, true);
+  EXPECT_TRUE(mesh.quarantined(0));
+  EXPECT_EQ(mesh.quarantined_nodes(), std::vector<NodeId>{0});
+
+  EXPECT_EQ(mesh.inject(0, 5), -1);
+  EXPECT_EQ(mesh.packets_dropped(), 1);
+  mesh.run(50);
+  EXPECT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.stats().packets_ejected(), 0);
+
+  // Other nodes are unaffected; release restores injection.
+  EXPECT_GE(mesh.inject(1, 5), 0);
+  mesh.set_quarantined(0, false);
+  EXPECT_GE(mesh.inject(0, 5), 0);
+  mesh.run(200);
+  EXPECT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.stats().packets_ejected(), 2);
+}
+
+TEST(Mesh, QuarantineFlushesTheQueuedBacklog) {
+  Mesh mesh(small_mesh(4, /*pkt_len=*/5));
+  for (int i = 0; i < 10; ++i) mesh.inject(0, 3);
+  mesh.run(3);  // front packet is mid-serialization (3 of 5 flits sent)
+  ASSERT_GT(mesh.source_queue_length(0), 1U);
+
+  mesh.set_quarantined(0, true);
+  // Everything behind the in-flight packet is dropped on the spot...
+  EXPECT_EQ(mesh.packets_dropped(), 9);
+  EXPECT_LE(mesh.source_queue_length(0), 1U);
+  // ...and only the in-flight packet completes (its tail must release the
+  // virtual channel), so the flood stops within one packet's worth.
+  std::int64_t spare = 10000;
+  while (!mesh.drained() && spare-- > 0) mesh.step();
+  ASSERT_TRUE(mesh.drained());
+  EXPECT_EQ(mesh.stats().packets_ejected(), 1);
+}
+
+TEST(LatencyHistogram, PercentilesFollowTheEjectedPackets) {
+  Mesh mesh(small_mesh());
+  for (int i = 0; i < 20; ++i) mesh.inject(0, 1);  // one hop, serialized queueing
+  std::int64_t spare = 10000;
+  while (!mesh.drained() && spare-- > 0) mesh.step();
+  ASSERT_TRUE(mesh.drained());
+  const auto& stats = mesh.stats();
+  ASSERT_EQ(stats.packets_ejected(), 20);
+
+  const double p50 = stats.packet_latency_percentile(0.5);
+  const double p99 = stats.packet_latency_percentile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+  // The histogram's mass matches the packet count.
+  std::int64_t total = 0;
+  for (const auto c : stats.packet_latency_histogram()) total += c;
+  EXPECT_EQ(total, 20);
+}
+
+TEST(LatencyHistogram, PercentileOfEmptyHistogramIsZero) {
+  EXPECT_DOUBLE_EQ(histogram_percentile(std::vector<std::int64_t>(16, 0), 0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace dl2f::noc

@@ -1,0 +1,113 @@
+// Campaign engine: grid order, model-snapshot round-trips, and the core
+// contract that results are byte-identical for any worker-thread count.
+#include "runtime/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dl2f::runtime {
+namespace {
+
+constexpr std::int32_t kMeshSide = 8;
+
+/// Deterministically initialized (but untrained) pipeline: campaign
+/// mechanics do not care about model quality, only about determinism.
+ModelSnapshot deterministic_snapshot() {
+  core::Dl2Fence fence(core::Dl2FenceConfig::paper_default(MeshShape::square(kMeshSide)));
+  Rng det_rng(7), loc_rng(8);
+  fence.detector().model().init_weights(det_rng);
+  fence.localizer().model().init_weights(loc_rng);
+  return ModelSnapshot::capture(fence);
+}
+
+CampaignConfig small_campaign() {
+  CampaignConfig cfg;
+  cfg.families = {"static", "multi-victim"};
+  cfg.seeds = {1, 2, 3};
+  cfg.windows = 4;
+  cfg.params.mesh = MeshShape::square(kMeshSide);
+  cfg.params.attack_start = 1000;
+  cfg.defense.window_cycles = 500;
+  return cfg;
+}
+
+TEST(ModelSnapshot, RoundTripsWeightsExactly) {
+  const ModelSnapshot snap = deterministic_snapshot();
+  EXPECT_FALSE(snap.detector_weights.empty());
+  EXPECT_FALSE(snap.localizer_weights.empty());
+
+  core::Dl2Fence a = snap.restore();
+  core::Dl2Fence b = snap.restore();
+
+  // Identical weights -> identical predictions on the same frames.
+  monitor::FrameSample sample;
+  const monitor::FrameGeometry geom(MeshShape::square(kMeshSide));
+  for (Direction d : kMeshDirections) {
+    monitor::frame_of(sample.vco, d) = geom.make_frame();
+    monitor::frame_of(sample.boc, d) = geom.make_frame();
+  }
+  EXPECT_FLOAT_EQ(a.detector().predict_probability(sample),
+                  b.detector().predict_probability(sample));
+}
+
+TEST(Campaign, JobsComeBackInGridOrder) {
+  const ModelSnapshot snap = deterministic_snapshot();
+  CampaignConfig cfg = small_campaign();
+  const CampaignResult result = run_campaign(cfg, snap);
+
+  ASSERT_EQ(result.jobs.size(), cfg.families.size() * cfg.seeds.size());
+  std::size_t i = 0;
+  for (const auto& family : cfg.families) {
+    for (const std::uint64_t seed : cfg.seeds) {
+      EXPECT_EQ(result.jobs[i].family, family);
+      EXPECT_EQ(result.jobs[i].seed, seed);
+      EXPECT_EQ(result.jobs[i].summary.windows, cfg.windows);
+      ++i;
+    }
+  }
+}
+
+TEST(Campaign, ByteIdenticalAcrossWorkerThreadCounts) {
+  const ModelSnapshot snap = deterministic_snapshot();
+  CampaignConfig cfg = small_campaign();
+
+  cfg.threads = 1;
+  const std::string one = run_campaign(cfg, snap).serialize();
+  cfg.threads = 3;
+  const std::string three = run_campaign(cfg, snap).serialize();
+  cfg.threads = 8;  // more workers than jobs
+  const std::string eight = run_campaign(cfg, snap).serialize();
+
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, three);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Campaign, RejectsUnknownFamiliesAndMismatchedMeshUpfront) {
+  const ModelSnapshot snap = deterministic_snapshot();
+
+  CampaignConfig typo = small_campaign();
+  typo.families = {"static", "victim_sweep"};  // underscore typo
+  EXPECT_THROW((void)run_campaign(typo, snap), std::invalid_argument);
+
+  CampaignConfig wrong_mesh = small_campaign();
+  wrong_mesh.params.mesh = MeshShape::square(kMeshSide + 2);
+  EXPECT_THROW((void)run_campaign(wrong_mesh, snap), std::invalid_argument);
+}
+
+TEST(Campaign, FamilyTableHasOneRowPerFamily) {
+  const ModelSnapshot snap = deterministic_snapshot();
+  CampaignConfig cfg = small_campaign();
+  const CampaignResult result = run_campaign(cfg, snap);
+
+  std::ostringstream os;
+  os << result.family_table(cfg.families);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("static"), std::string::npos);
+  EXPECT_NE(table.find("multi-victim"), std::string::npos);
+  EXPECT_NE(table.find("Attacker F1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dl2f::runtime

@@ -1,0 +1,189 @@
+#include "runtime/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "traffic/simulation.hpp"
+
+namespace dl2f::runtime {
+namespace {
+
+ScenarioParams small_params() {
+  ScenarioParams p;
+  p.mesh = MeshShape::square(8);
+  p.num_attackers = 2;
+  p.attack_start = 1000;
+  return p;
+}
+
+TEST(ScenarioRegistry, RoundTripsEveryBuiltinFamilyName) {
+  auto& registry = ScenarioRegistry::instance();
+  const auto names = registry.names();
+  EXPECT_GE(names.size(), 5U);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+  for (const auto& family : builtin_scenario_families()) {
+    ASSERT_TRUE(registry.contains(family)) << family;
+    const auto scenario = registry.make(family, small_params(), /*seed=*/42);
+    ASSERT_NE(scenario, nullptr) << family;
+    EXPECT_EQ(scenario->family(), family);
+    EXPECT_FALSE(scenario->all_attackers().empty()) << family;
+  }
+}
+
+TEST(ScenarioRegistry, UnknownFamilyIsAbsent) {
+  auto& registry = ScenarioRegistry::instance();
+  EXPECT_FALSE(registry.contains("no-such-family"));
+  EXPECT_EQ(registry.make("no-such-family", small_params(), 1), nullptr);
+}
+
+TEST(ScenarioRegistry, SameSeedSamePlacement) {
+  auto& registry = ScenarioRegistry::instance();
+  for (const auto& family : builtin_scenario_families()) {
+    const auto a = registry.make(family, small_params(), 9);
+    const auto b = registry.make(family, small_params(), 9);
+    EXPECT_EQ(a->all_attackers(), b->all_attackers()) << family;
+  }
+}
+
+TEST(ScenarioRegistry, InfeasiblePlacementDegradesInsteadOfSpinning) {
+  // A 3x3 mesh cannot host 8 sweep victims >= 2 hops from two attackers,
+  // nor 9 distinct attacker placements; construction must still terminate
+  // with however many legs fit.
+  ScenarioParams p;
+  p.mesh = MeshShape::square(3);
+  p.num_attackers = 2;
+  p.sweep_victims = 8;
+  const auto sweep = ScenarioRegistry::instance().make("victim-sweep", p, 1);
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_FALSE(sweep->all_attackers().empty());
+
+  p.num_attackers = 12;  // more attackers than the mesh has nodes
+  const auto multi = ScenarioRegistry::instance().make("multi-victim", p, 1);
+  ASSERT_NE(multi, nullptr);
+  EXPECT_FALSE(multi->all_attackers().empty());
+  EXPECT_LE(multi->all_attackers().size(), 9U);
+}
+
+TEST(StaticScenario, ActivatesAtAttackStart) {
+  const auto s = ScenarioRegistry::instance().make("static", small_params(), 3);
+  EXPECT_TRUE(s->active_attackers(0).empty());
+  EXPECT_TRUE(s->active_attackers(999).empty());
+  EXPECT_EQ(s->active_attackers(1000).size(), 2U);
+  EXPECT_EQ(s->active_attackers(50'000).size(), 2U);
+}
+
+TEST(TransientScenario, FollowsTheSquareWave) {
+  ScenarioParams p = small_params();
+  p.attack_start = 0;
+  p.burst_period = 400;
+  p.burst_duty = 0.5;
+  const auto s = ScenarioRegistry::instance().make("transient", p, 3);
+  EXPECT_FALSE(s->active_attackers(0).empty());    // on-phase
+  EXPECT_FALSE(s->active_attackers(199).empty());
+  EXPECT_TRUE(s->active_attackers(200).empty());   // off-phase
+  EXPECT_TRUE(s->active_attackers(399).empty());
+  EXPECT_FALSE(s->active_attackers(400).empty());  // next burst
+}
+
+TEST(MultiVictimScenario, UsesDistinctAttackerNodes) {
+  ScenarioParams p = small_params();
+  p.num_attackers = 3;
+  const auto s = ScenarioRegistry::instance().make("multi-victim", p, 5);
+  const auto attackers = s->all_attackers();
+  EXPECT_EQ(attackers.size(), 3U);  // all_attackers() deduplicates
+  EXPECT_EQ(s->active_attackers(p.attack_start), attackers);
+}
+
+TEST(ScenarioDynamics, TransientBurstsRaiseAndLowerTrafficVolume) {
+  // The benign background runs throughout, so compare equal-length spans:
+  // on-phase spans carry flooding on top of the benign volume, off-phase
+  // spans (after a drain gap) carry benign volume only.
+  ScenarioParams p = small_params();
+  p.attack_start = 0;
+  p.burst_period = 1000;
+  p.burst_duty = 0.3;
+  const auto s = ScenarioRegistry::instance().make("transient", p, 11);
+
+  noc::MeshConfig cfg;
+  cfg.shape = p.mesh;
+  traffic::Simulation sim(cfg);
+  s->install(sim, 21);
+
+  const auto step_span = [&](noc::Cycle cycles) {
+    const auto before = sim.mesh().stats().packets_ejected();
+    for (noc::Cycle c = 0; c < cycles; ++c) {
+      s->on_cycle(sim.mesh().now());
+      sim.step();
+    }
+    return sim.mesh().stats().packets_ejected() - before;
+  };
+
+  const auto burst1 = step_span(300);  // [0, 300): flooding on
+  step_span(200);                      // [300, 500): off, flood drains
+  const auto quiet = step_span(300);   // [500, 800): off, benign only
+  step_span(200);                      // [800, 1000): off
+  const auto burst2 = step_span(300);  // [1000, 1300): next burst
+  EXPECT_GT(burst1, quiet);
+  EXPECT_GT(burst2, quiet);
+}
+
+TEST(VictimSweepScenario, KeepsFloodingAcrossRetargets) {
+  ScenarioParams p = small_params();
+  p.attack_start = 0;
+  p.sweep_period = 500;
+  p.sweep_victims = 3;
+  const auto s = ScenarioRegistry::instance().make("victim-sweep", p, 13);
+
+  noc::MeshConfig cfg;
+  cfg.shape = p.mesh;
+  traffic::Simulation sim(cfg);
+  s->install(sim, 17);
+  for (noc::Cycle c = 0; c < 3 * p.sweep_period; ++c) {
+    s->on_cycle(sim.mesh().now());
+    sim.step();
+  }
+  // Attackers stayed active through all three sweep legs.
+  EXPECT_GT(sim.mesh().stats().packets_ejected(), p.sweep_period);
+  EXPECT_EQ(s->active_attackers(3 * p.sweep_period).size(), 2U);
+}
+
+TEST(RampScenario, StartsQuietAndReachesFullRate) {
+  ScenarioParams p = small_params();
+  p.attack_start = 100;
+  p.ramp_cycles = 2000;
+  p.ramp_start_fir = 0.05;
+  p.fir = 0.9;
+  const auto s = ScenarioRegistry::instance().make("ramp", p, 19);
+  EXPECT_TRUE(s->active_attackers(99).empty());
+  EXPECT_FALSE(s->active_attackers(100).empty());
+
+  noc::MeshConfig cfg;
+  cfg.shape = p.mesh;
+  traffic::Simulation sim(cfg);
+  s->install(sim, 23);
+
+  // Malicious volume only (total minus benign), so the benign background
+  // does not drown out the ramp.
+  const auto malicious_span = [&](noc::Cycle cycles) {
+    const auto before =
+        sim.mesh().stats().packets_ejected() - sim.mesh().benign_stats().packets_ejected();
+    for (noc::Cycle c = 0; c < cycles; ++c) {
+      s->on_cycle(sim.mesh().now());
+      sim.step();
+    }
+    const auto after =
+        sim.mesh().stats().packets_ejected() - sim.mesh().benign_stats().packets_ejected();
+    return after - before;
+  };
+
+  malicious_span(100);                        // reach attack_start
+  const auto early = malicious_span(400);     // FIR near ramp_start_fir
+  malicious_span(1600);                       // climb the ramp
+  const auto late = malicious_span(400);      // FIR near full rate
+  EXPECT_GT(late, 2 * early);
+}
+
+}  // namespace
+}  // namespace dl2f::runtime
