@@ -1,0 +1,197 @@
+// Inference throughput: the engine/session redesign measured.
+//
+// Scores the same synthetic monitoring-window set four ways and reports
+// windows/sec for each:
+//   * single_window — the seed's per-window mutable path (training-forward
+//     per call: per-layer allocations + backward caches), i.e. what every
+//     window cost before the PipelineEngine/PipelineSession split;
+//   * session batch {1, 8, 32} — the allocation-free const path at
+//     different batch capacities;
+//   * 1/2/4 sessions — concurrent sessions sharing ONE engine, each
+//     scoring a disjoint shard (the campaign scaling model).
+//
+// The detector threshold is raised above 1 so every arm measures the
+// always-on detector stage that each window pays regardless of verdict
+// (localization cost is scenario-dependent and benchmarked by the table
+// benches). A bitwise parity check between the legacy and batched paths
+// runs first; the bench exits non-zero if they ever disagree.
+//
+// Output: human-readable table on stdout plus machine-readable
+// BENCH_inference.json in the working directory. Pass --quick for the CI
+// preset.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "monitor/dataset.hpp"
+
+using namespace dl2f;
+
+namespace {
+
+monitor::FrameSample synthetic_window(const monitor::FrameGeometry& geom, Rng& rng) {
+  monitor::FrameSample s;
+  for (Direction d : kMeshDirections) {
+    Frame vco = geom.make_frame();
+    Frame boc = geom.make_frame();
+    for (float& v : vco.data()) v = static_cast<float>(rng.uniform());
+    for (float& v : boc.data()) v = static_cast<float>(rng.uniform_int(0, 400));
+    monitor::frame_of(s.vco, d) = std::move(vco);
+    monitor::frame_of(s.boc, d) = std::move(boc);
+  }
+  return s;
+}
+
+/// Best-of-`repeats` wall time of fn() over the whole window set, as
+/// windows per second.
+template <typename Fn>
+double throughput(std::size_t windows, std::int32_t repeats, Fn&& fn) {
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (std::int32_t r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best_seconds = std::min(best_seconds, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return static_cast<double>(windows) / best_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+
+  const MeshShape mesh = MeshShape::square(16);  // the paper's STP mesh
+  const std::size_t num_windows = quick ? 256 : 1024;
+  const std::int32_t repeats = quick ? 3 : 8;
+
+  core::Dl2FenceConfig cfg = core::Dl2FenceConfig::paper_default(mesh);
+  cfg.detector.threshold = 2.0F;  // sigmoid never exceeds: detector stage only
+
+  // Deterministically initialized weights: throughput does not care about
+  // model quality, parity checks care about determinism.
+  core::Dl2Fence fence(cfg);
+  Rng det_rng(7), loc_rng(8);
+  fence.detector().model().init_weights(det_rng);
+  fence.localizer().model().init_weights(loc_rng);
+  const core::PipelineEngine& engine = fence.engine();
+
+  const monitor::FrameGeometry geom(mesh);
+  Rng data_rng(0x5eed);
+  std::vector<monitor::FrameSample> windows;
+  windows.reserve(num_windows);
+  for (std::size_t i = 0; i < num_windows; ++i) windows.push_back(synthetic_window(geom, data_rng));
+  const monitor::WindowBatch batch{windows.data(), windows.size()};
+
+  std::cout << "bench_inference: " << num_windows << " synthetic 16x16 windows, best of "
+            << repeats << " repeats" << (quick ? " (quick)" : "") << "\n\n";
+
+  // Parity gate: the batched const path must be bitwise-identical to the
+  // legacy per-window training-forward path.
+  {
+    core::PipelineSession session(engine);
+    const std::vector<float> batched = session.detect_batch(batch);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      const float legacy = fence.detector().predict_probability(windows[i]);
+      if (std::memcmp(&legacy, &batched[i], sizeof(float)) != 0) {
+        std::cerr << "PARITY FAILURE at window " << i << ": legacy " << legacy << " vs batched "
+                  << batched[i] << "\n";
+        return 1;
+      }
+    }
+    std::cout << "parity: batched path bitwise-identical to legacy path over " << windows.size()
+              << " windows\n";
+  }
+
+  double checksum = 0.0;  // keep every arm's work observable
+
+  // Arm 1: the seed's per-window cost (mutable forward, allocates per layer).
+  const double single_wps = throughput(num_windows, repeats, [&] {
+    for (const auto& w : windows) checksum += fence.detector().predict_probability(w);
+  });
+
+  // Arm 2: session batch sizes 1 / 8 / 32.
+  const std::vector<std::int32_t> batch_sizes{1, 8, 32};
+  std::vector<double> batch_wps;
+  for (const std::int32_t b : batch_sizes) {
+    core::PipelineSession session(engine, b);
+    batch_wps.push_back(throughput(num_windows, repeats, [&] {
+      const auto rounds = session.process_batch(batch);
+      checksum += rounds.back().probability;
+    }));
+  }
+
+  // Arm 3: 1/2/4 sessions over one shared engine, disjoint shards.
+  const std::vector<std::int32_t> session_counts{1, 2, 4};
+  std::vector<double> session_wps;
+  for (const std::int32_t n : session_counts) {
+    session_wps.push_back(throughput(num_windows, repeats, [&] {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(n));
+      const std::size_t shard = (windows.size() + static_cast<std::size_t>(n) - 1) /
+                                static_cast<std::size_t>(n);
+      for (std::int32_t t = 0; t < n; ++t) {
+        pool.emplace_back([&, t] {
+          const std::size_t lo = static_cast<std::size_t>(t) * shard;
+          const std::size_t hi = std::min(lo + shard, windows.size());
+          if (lo >= hi) return;
+          core::PipelineSession session(engine, 32);
+          const auto rounds = session.process_batch(batch.subspan(lo, hi - lo));
+          (void)rounds;
+        });
+      }
+      for (auto& t : pool) t.join();
+    }));
+  }
+
+  const double speedup32 = batch_wps[2] / single_wps;
+
+  std::cout << "\n  single_window (legacy mutable forward): " << single_wps << " windows/s\n";
+  for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
+    std::cout << "  session batch " << batch_sizes[i] << ": " << batch_wps[i] << " windows/s ("
+              << batch_wps[i] / single_wps << "x single)\n";
+  }
+  for (std::size_t i = 0; i < session_counts.size(); ++i) {
+    std::cout << "  " << session_counts[i] << " session(s), one engine: " << session_wps[i]
+              << " windows/s\n";
+  }
+  std::cout << "  checksum " << checksum << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"inference\",\n"
+       << "  \"mesh\": " << mesh.rows() << ",\n"
+       << "  \"windows\": " << num_windows << ",\n"
+       << "  \"repeats\": " << repeats << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"single_window_wps\": " << single_wps << ",\n"
+       << "  \"batch_wps\": {";
+  for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << batch_sizes[i] << "\": " << batch_wps[i];
+  }
+  json << "},\n  \"sessions_wps\": {";
+  for (std::size_t i = 0; i < session_counts.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << session_counts[i] << "\": " << session_wps[i];
+  }
+  json << "},\n"
+       << "  \"speedup_batch32_vs_single_window\": " << speedup32 << "\n"
+       << "}\n";
+
+  std::ofstream out("BENCH_inference.json");
+  out << json.str();
+  std::cout << "\nwrote BENCH_inference.json (speedup_batch32_vs_single_window = " << speedup32
+            << ")\n";
+  return 0;
+}

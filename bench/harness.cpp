@@ -67,7 +67,8 @@ GroupResult run_group(const MeshShape& mesh,
     loc_cfg.seed = seed + 22;
     core::train_localizer(framework.localizer(), split.train, loc_cfg);
 
-    result.scores.push_back(core::score_benchmark(framework, bench.name(), split.test));
+    // Score the held-out windows through the batched engine path.
+    result.scores.push_back(core::score_benchmark(framework.engine(), bench.name(), split.test));
     result.train_windows += split.train.samples.size();
     result.test_windows += split.test.samples.size();
   }

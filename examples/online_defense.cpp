@@ -31,7 +31,9 @@ int main() {
   std::cout << "Training detector + localizer (frozen as a ModelSnapshot)...\n";
   const runtime::ModelSnapshot model =
       runtime::train_model_snapshot(mesh, benign, runtime::TrainPreset{});
-  core::Dl2Fence fence = model.restore();
+  // One weight deserialization into an immutable engine; the runtime's
+  // session supplies the per-loop scratch.
+  const core::PipelineEngine engine = model.make_engine();
 
   runtime::DefenseConfig defense;          // 1000-cycle windows, probation 3
   runtime::ScenarioParams params;
@@ -47,7 +49,7 @@ int main() {
   traffic::Simulation sim(mesh_cfg);
   scenario->install(sim, /*seed=*/7);
 
-  runtime::DefenseRuntime loop(sim, fence, defense);
+  runtime::DefenseRuntime loop(sim, engine, defense);
   loop.attach_scenario(scenario.get());
 
   std::cout << "\nRunning " << 12 << " monitoring windows of " << defense.window_cycles

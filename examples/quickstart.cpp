@@ -46,18 +46,20 @@ int main() {
   std::cout << "  final loss " << loc_report.final_loss << ", train dice "
             << loc_report.final_dice << "\n";
 
-  // 3. Score on held-out windows.
-  const auto score = core::score_benchmark(framework, "Uniform Random", split.test);
+  // 3. Score on held-out windows — batched through the shared engine.
+  const auto score = core::score_benchmark(framework.engine(), "Uniform Random", split.test);
   std::cout << "\nHeld-out results (Uniform Random):\n"
             << "  detection   acc " << score.detection.accuracy << "  prec "
             << score.detection.precision << "  rec " << score.detection.recall << "\n"
             << "  localization acc " << score.localization.accuracy << "  prec "
             << score.localization.precision << "  rec " << score.localization.recall << "\n";
 
-  // 4. Walk one attack window through the full pipeline.
+  // 4. Walk one attack window through the full pipeline via a deployment
+  //    session (the trained engine is immutable and thread-shareable).
+  core::PipelineSession session(framework.engine());
   for (const auto& sample : split.test.samples) {
     if (!sample.under_attack) continue;
-    const core::RoundResult round = framework.process(sample);
+    const core::RoundResult round = session.process(sample);
     std::cout << "\nOne attack window, end to end:\n"
               << "  detector probability " << round.probability << " -> "
               << (round.detected ? "DoS detected" : "no DoS") << "\n";

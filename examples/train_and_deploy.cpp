@@ -1,6 +1,7 @@
 // Train-and-deploy workflow: train the two CNNs once, persist the weights
-// to disk, reload them into a fresh framework (as a deployed accelerator
-// would), and run the continuous monitoring loop of §3:
+// to disk, reload them into an immutable PipelineEngine (as a deployed
+// accelerator would), open a PipelineSession on it, and run the continuous
+// monitoring loop of §3:
 //
 //   (1) sample VCO each period -> detector;
 //   (2) on anomaly, BOC frames -> segmentation localizer;
@@ -51,13 +52,16 @@ int main() {
     std::cout << "[offline] weights saved to " << det_path << " and " << loc_path << "\n\n";
   }
 
-  // --- Online phase: reload into a fresh framework and monitor ----------
-  core::Dl2Fence deployed(core::Dl2FenceConfig::paper_default(mesh));
-  if (!deployed.detector().model().load_file(det_path) ||
-      !deployed.localizer().model().load_file(loc_path)) {
+  // --- Online phase: reload into an immutable engine and monitor --------
+  // The engine is const after this block: one weight set, shareable by any
+  // number of per-thread sessions.
+  core::PipelineEngine deployed(core::Dl2FenceConfig::paper_default(mesh));
+  if (!deployed.mutable_detector().model().load_file(det_path) ||
+      !deployed.mutable_localizer().model().load_file(loc_path)) {
     std::cerr << "failed to reload model weights\n";
     return 1;
   }
+  core::PipelineSession session(deployed);
   std::cout << "[online] weights reloaded; starting monitoring loop\n";
 
   noc::MeshConfig mesh_cfg;
@@ -96,7 +100,7 @@ int main() {
     window.vco = sampler.sample_vco(sim.mesh());
     window.boc = sampler.sample_boc(sim.mesh());
 
-    const core::RoundResult r = deployed.process(window);
+    const core::RoundResult r = session.process(window);
     std::cout << "round " << round << " @cycle " << sim.mesh().now() << ": P(DoS)="
               << r.probability;
     if (!r.detected) {

@@ -39,6 +39,26 @@ nn::Tensor3 DoSDetector::preprocess(const monitor::FrameSample& sample) const {
   return input;
 }
 
+void DoSDetector::preprocess_into(const monitor::FrameSample& sample, nn::Tensor4& batch,
+                                  std::int32_t slot) const {
+  const auto& frames = cfg_.feature == Feature::Vco ? sample.vco : sample.boc;
+  float* dst = batch.sample(slot);
+  std::size_t off = 0;
+  for (Direction d : kMeshDirections) {
+    const auto& data = monitor::frame_of(frames, d).data();
+    assert(off + data.size() <= batch.sample_size());
+    std::copy(data.begin(), data.end(), dst + off);
+    off += data.size();
+  }
+  if (cfg_.feature == Feature::Boc) {
+    // Joint normalization across all four channels, as in preprocess().
+    const float m = *std::max_element(dst, dst + off);
+    if (m > 0.0F) {
+      for (std::size_t i = 0; i < off; ++i) dst[i] /= m;
+    }
+  }
+}
+
 float DoSDetector::predict_probability(const monitor::FrameSample& sample) {
   return model_.forward(preprocess(sample)).data()[0];
 }

@@ -41,10 +41,24 @@ class DoSDetector {
   /// inter-direction contrast survives.
   [[nodiscard]] nn::Tensor3 preprocess(const monitor::FrameSample& sample) const;
 
+  /// Allocation-free preprocess of one window into slot `slot` of a
+  /// staged input batch. Identical values to preprocess().
+  void preprocess_into(const monitor::FrameSample& sample, nn::Tensor4& batch,
+                       std::int32_t slot) const;
+
+  /// CNN input shape: kNumMeshDirections channels of R x (R-1) frames.
+  [[nodiscard]] nn::Tensor3 input_shape() const {
+    return nn::Tensor3(static_cast<std::int32_t>(kNumMeshDirections), cfg_.mesh.rows(),
+                       cfg_.mesh.cols() - 1);
+  }
+
+  /// Training-path prediction (mutable forward). The inference path goes
+  /// through core::PipelineSession instead.
   [[nodiscard]] float predict_probability(const monitor::FrameSample& sample);
   [[nodiscard]] bool predict(const monitor::FrameSample& sample);
 
   [[nodiscard]] nn::Sequential& model() noexcept { return model_; }
+  [[nodiscard]] const nn::Sequential& model() const noexcept { return model_; }
 
  private:
   DetectorConfig cfg_;

@@ -45,23 +45,37 @@ Metrics4 LocalizationScore::metrics() const noexcept {
   return m;
 }
 
-BenchmarkScore score_benchmark(Dl2Fence& framework, const std::string& name,
+BenchmarkScore score_benchmark(const PipelineEngine& engine, const std::string& name,
                                const monitor::Dataset& test) {
   BenchmarkScore score;
   score.benchmark = name;
 
+  // One batched detector pass over every window; the localizer then runs
+  // exactly once per attack window (the tables score localization
+  // independently of the detector verdict, and localizing detected benign
+  // windows would be discarded work).
+  PipelineSession session(engine);
+  const std::vector<float> probs = session.detect_batch(test.windows());
+  const float threshold = engine.config().detector.threshold;
+
   ConfusionMatrix detection;
   LocalizationScore localization;
-  for (const auto& sample : test.samples) {
-    detection.add(framework.detector().predict(sample), sample.under_attack);
+  for (std::size_t i = 0; i < test.samples.size(); ++i) {
+    const auto& sample = test.samples[i];
+    detection.add(probs[i] > threshold, sample.under_attack);
     if (sample.under_attack) {
-      const RoundResult r = framework.localize(sample);
+      const RoundResult r = session.localize(sample);
       localization.add(r.victims, sample.victim_truth);
     }
   }
   score.detection = detection_metrics(detection);
   score.localization = localization.metrics();
   return score;
+}
+
+BenchmarkScore score_benchmark(Dl2Fence& framework, const std::string& name,
+                               const monitor::Dataset& test) {
+  return score_benchmark(framework.engine(), name, test);
 }
 
 BenchmarkScore average_scores(const std::vector<BenchmarkScore>& scores,

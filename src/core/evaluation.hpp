@@ -49,8 +49,14 @@ struct BenchmarkScore {
   Metrics4 localization;
 };
 
-/// Score a trained framework on one benchmark's test set: detection over
-/// all windows, localization over the attack windows.
+/// Score a trained engine on one benchmark's test set: detection over all
+/// windows (batched through PipelineSession::process_batch), localization
+/// over the attack windows (detector-independent, as the tables require).
+[[nodiscard]] BenchmarkScore score_benchmark(const PipelineEngine& engine,
+                                             const std::string& name,
+                                             const monitor::Dataset& test);
+
+/// Deprecated shim overload; forwards to the engine version.
 [[nodiscard]] BenchmarkScore score_benchmark(Dl2Fence& framework, const std::string& name,
                                              const monitor::Dataset& test);
 

@@ -33,6 +33,21 @@ nn::Tensor3 DoSLocalizer::preprocess(const Frame& frame) const {
   return nn::Tensor3::from_frame(frame);
 }
 
+void DoSLocalizer::preprocess_into(const Frame& frame, nn::Tensor4& batch,
+                                   std::int32_t slot) const {
+  const auto& data = frame.data();
+  assert(data.size() == batch.sample_size());
+  float* dst = batch.sample(slot);
+  std::copy(data.begin(), data.end(), dst);
+  if (cfg_.feature == Feature::Boc) {
+    // Per-frame max normalization, as Frame::normalized() does.
+    const float m = frame.max_value();
+    if (m > 0.0F) {
+      for (std::size_t i = 0; i < data.size(); ++i) dst[i] /= m;
+    }
+  }
+}
+
 Frame DoSLocalizer::segment(const Frame& frame) {
   return model_.forward(preprocess(frame)).to_frame();
 }

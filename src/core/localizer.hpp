@@ -44,6 +44,15 @@ class DoSLocalizer {
   /// [0,1] per frame, VCO passes through raw (§4).
   [[nodiscard]] nn::Tensor3 preprocess(const Frame& frame) const;
 
+  /// Allocation-free preprocess of one directional frame into slot `slot`
+  /// of a staged input batch. Identical values to preprocess().
+  void preprocess_into(const Frame& frame, nn::Tensor4& batch, std::int32_t slot) const;
+
+  /// CNN input shape: one channel of R x (R-1).
+  [[nodiscard]] nn::Tensor3 input_shape() const {
+    return nn::Tensor3(1, cfg_.mesh.rows(), cfg_.mesh.cols() - 1);
+  }
+
   /// Soft segmentation (sigmoid map) of one directional frame.
   [[nodiscard]] Frame segment(const Frame& frame);
   /// Binarized segmentation of one directional frame.
@@ -52,6 +61,7 @@ class DoSLocalizer {
   [[nodiscard]] monitor::DirectionalFrames segment_all(const monitor::FrameSample& sample);
 
   [[nodiscard]] nn::Sequential& model() noexcept { return model_; }
+  [[nodiscard]] const nn::Sequential& model() const noexcept { return model_; }
 
  private:
   LocalizerConfig cfg_;

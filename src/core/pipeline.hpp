@@ -6,19 +6,48 @@
 //   (3) MFF reconstructs attacking routes and victims; TLM finds attackers;
 //   (4) next sampling round repeats until no abnormal frames appear.
 //
-// runtime layer (src/runtime/): this class scores one monitoring window;
-// the online closed loop around it lives in runtime::DefenseRuntime, which
-// feeds live FeatureSampler windows through process(), quarantines the
-// TLM-named attackers at their network interfaces, and releases them after
-// a clean probation period. runtime::run_campaign fans that loop out over
-// a scenario×seed grid on a worker pool.
+// Engine/session split — the inference API is two halves:
+//
+//   * PipelineEngine: the immutable half. Owns the trained detector and
+//     localizer weights plus the frame geometry; const after construction
+//     and safely shareable by const& across any number of threads. Built
+//     either from a config (untrained, weights initialized by a training
+//     flow) or from config + serialized weight blobs (deployment).
+//
+//   * PipelineSession: the mutable half. One per thread; owns the
+//     preallocated nn::InferenceContext arenas (layer activations, layer
+//     scratch) and stages windows into them, so the scoring hot path
+//     performs zero heap allocations. process() scores one monitoring
+//     window; process_batch() scores a monitor::WindowBatch, pushing all
+//     windows through the detector CNN in batched, allocation-free
+//     passes. Results are bitwise-identical between the two (and to the
+//     training-time forward pass).
+//
+// Scaling model: N sessions, one weight set. runtime::DefenseRuntime owns
+// a session per live loop; runtime::run_campaign shares one engine across
+// its whole worker pool; core::score_benchmark and the table benches score
+// test sets through process_batch.
+//
+// Dl2Fence — the seed's one-window-per-call mutable class — remains as a
+// thin deprecated shim over an engine + session pair. Migration:
+//
+//     Dl2Fence fence(cfg);                PipelineEngine engine(cfg, det, loc);
+//     fence.process(sample);       ->     PipelineSession session(engine);
+//                                         session.process(sample);
+//
+// Training flows keep using Dl2Fence (its detector()/localizer() expose
+// the mutable models); deployment hands the trained engine (or a
+// runtime::ModelSnapshot) to sessions.
 #pragma once
+
+#include <iosfwd>
 
 #include "core/detector.hpp"
 #include "core/fusion.hpp"
 #include "core/localizer.hpp"
 #include "core/tlm.hpp"
 #include "core/vce.hpp"
+#include "nn/inference.hpp"
 
 namespace dl2f::core {
 
@@ -47,27 +76,118 @@ struct RoundResult {
   TlmResult tlm;               ///< attackers and target victims
 };
 
-class Dl2Fence {
+/// The immutable half: trained detector + localizer weights and geometry.
+/// Every accessor is const; one engine serves any number of concurrent
+/// PipelineSessions. Mutable model access exists only for training flows
+/// (the Dl2Fence shim, weight loading) and must not run concurrently with
+/// session scoring.
+class PipelineEngine {
  public:
-  explicit Dl2Fence(const Dl2FenceConfig& cfg);
+  /// Architecture only — weights are uninitialized until a training flow
+  /// (or load) fills them through the mutable accessors.
+  explicit PipelineEngine(const Dl2FenceConfig& cfg);
+
+  /// Trained engine: architecture from `cfg`, weights from the serialized
+  /// blobs (nn::Sequential::save format). Throws std::runtime_error when
+  /// a blob does not match the architecture.
+  PipelineEngine(const Dl2FenceConfig& cfg, std::istream& detector_weights,
+                 std::istream& localizer_weights);
 
   [[nodiscard]] const Dl2FenceConfig& config() const noexcept { return cfg_; }
-  [[nodiscard]] DoSDetector& detector() noexcept { return detector_; }
-  [[nodiscard]] DoSLocalizer& localizer() noexcept { return localizer_; }
   [[nodiscard]] const monitor::FrameGeometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] const DoSDetector& detector() const noexcept { return detector_; }
+  [[nodiscard]] const DoSLocalizer& localizer() const noexcept { return localizer_; }
 
-  /// Run the full round on one monitoring window.
-  [[nodiscard]] RoundResult process(const monitor::FrameSample& sample);
-
-  /// Localization only (used when scoring the localizer independently of
-  /// detector verdicts, as the per-feature Tables 1-2 do).
-  [[nodiscard]] RoundResult localize(const monitor::FrameSample& sample);
+  /// Training-flow escape hatches; never call while sessions are scoring.
+  [[nodiscard]] DoSDetector& mutable_detector() noexcept { return detector_; }
+  [[nodiscard]] DoSLocalizer& mutable_localizer() noexcept { return localizer_; }
 
  private:
   Dl2FenceConfig cfg_;
   monitor::FrameGeometry geom_;
   DoSDetector detector_;
   DoSLocalizer localizer_;
+};
+
+/// The mutable half: per-thread scratch for scoring windows against one
+/// shared engine. Construction preallocates the detector and localizer
+/// inference arenas; after that, scoring performs no heap allocation on
+/// the benign (undetected) path and only result-owning allocations on the
+/// detected path.
+class PipelineSession {
+ public:
+  /// Default detector batch capacity (process_batch chunks to this).
+  static constexpr std::int32_t kDefaultMaxBatch = 32;
+
+  /// `engine` is borrowed and must outlive the session.
+  explicit PipelineSession(const PipelineEngine& engine,
+                           std::int32_t max_batch = kDefaultMaxBatch);
+
+  [[nodiscard]] const PipelineEngine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] std::int32_t max_batch() const noexcept { return max_batch_; }
+
+  /// Run the full round on one monitoring window.
+  [[nodiscard]] RoundResult process(const monitor::FrameSample& sample);
+
+  /// Run the full round on every window of a batch: one batched detector
+  /// pass per max_batch() chunk, then localization of detected windows.
+  /// result[i] is bitwise-identical to process(samples[i]).
+  [[nodiscard]] std::vector<RoundResult> process_batch(monitor::WindowBatch samples);
+
+  /// Detector probabilities only (no localization), batched.
+  [[nodiscard]] std::vector<float> detect_batch(monitor::WindowBatch samples);
+
+  /// Localization only (used when scoring the localizer independently of
+  /// detector verdicts, as the per-feature Tables 1-2 do).
+  [[nodiscard]] RoundResult localize(const monitor::FrameSample& sample);
+  [[nodiscard]] std::vector<RoundResult> localize_batch(monitor::WindowBatch samples);
+
+ private:
+  void detect_chunk(monitor::WindowBatch chunk, std::size_t base,
+                    std::vector<float>& probabilities);
+  void localize_into(const monitor::FrameSample& sample, RoundResult& r);
+
+  const PipelineEngine* engine_;
+  std::int32_t max_batch_;
+  nn::InferenceContext detector_ctx_;
+  nn::InferenceContext localizer_ctx_;
+};
+
+/// Deprecated shim: the seed's mutable one-window-per-call API, now a
+/// thin wrapper coupling one engine with one session. Kept so training
+/// flows and existing callers keep working; new code should hold a
+/// PipelineEngine and construct PipelineSessions per thread.
+class Dl2Fence {
+ public:
+  explicit Dl2Fence(const Dl2FenceConfig& cfg) : engine_(cfg), session_(engine_, 1) {}
+  // Not noexcept: the fresh session binds (allocates) its arenas against
+  // the engine's new address.
+  Dl2Fence(Dl2Fence&& other) : engine_(std::move(other.engine_)), session_(engine_, 1) {}
+  Dl2Fence& operator=(Dl2Fence&&) = delete;
+
+  [[nodiscard]] const Dl2FenceConfig& config() const noexcept { return engine_.config(); }
+  [[nodiscard]] DoSDetector& detector() noexcept { return engine_.mutable_detector(); }
+  [[nodiscard]] DoSLocalizer& localizer() noexcept { return engine_.mutable_localizer(); }
+  [[nodiscard]] const monitor::FrameGeometry& geometry() const noexcept {
+    return engine_.geometry();
+  }
+
+  /// The shareable engine behind this shim (e.g. to spawn more sessions).
+  [[nodiscard]] const PipelineEngine& engine() const noexcept { return engine_; }
+
+  /// Run the full round on one monitoring window.
+  [[nodiscard]] RoundResult process(const monitor::FrameSample& sample) {
+    return session_.process(sample);
+  }
+
+  /// Localization only (see PipelineSession::localize).
+  [[nodiscard]] RoundResult localize(const monitor::FrameSample& sample) {
+    return session_.localize(sample);
+  }
+
+ private:
+  PipelineEngine engine_;
+  PipelineSession session_;
 };
 
 }  // namespace dl2f::core

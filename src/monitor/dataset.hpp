@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "monitor/benchmark.hpp"
@@ -30,12 +31,21 @@ struct FrameSample {
   traffic::AttackScenario scenario;
 };
 
+/// Non-owning view of contiguous monitoring windows — the batch unit the
+/// inference API (core::PipelineSession::process_batch) consumes. Any
+/// contiguous FrameSample storage (a Dataset, a vector of live windows, a
+/// single sample) converts to one for free.
+using WindowBatch = std::span<const FrameSample>;
+
 struct Dataset {
   MeshShape mesh = MeshShape::square(16);
   std::vector<FrameSample> samples;
 
   [[nodiscard]] std::size_t attack_count() const noexcept;
   [[nodiscard]] std::size_t benign_count() const noexcept;
+
+  /// All samples as a batch view for bulk scoring.
+  [[nodiscard]] WindowBatch windows() const noexcept { return {samples.data(), samples.size()}; }
 };
 
 struct DatasetConfig {

@@ -1,0 +1,44 @@
+#include "nn/inference.hpp"
+
+#include <algorithm>
+
+#include "nn/model.hpp"
+
+namespace dl2f::nn {
+
+void InferenceContext::bind(const Sequential& model, const Tensor3& input_shape,
+                            std::int32_t max_batch) {
+  max_batch = std::max(max_batch, 1);
+  if (model_ == &model && capacity_ >= max_batch && input_c_ == input_shape.channels() &&
+      input_h_ == input_shape.height() && input_w_ == input_shape.width()) {
+    return;
+  }
+  model_ = &model;
+  capacity_ = max_batch;
+  input_c_ = input_shape.channels();
+  input_h_ = input_shape.height();
+  input_w_ = input_shape.width();
+
+  acts_.clear();
+  acts_.reserve(model.layer_count() + 1);
+  Tensor3 shape(input_c_, input_h_, input_w_);
+  acts_.emplace_back(capacity_, shape.channels(), shape.height(), shape.width());
+  std::size_t scratch = 0;
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    const Layer& layer = model.layer(l);
+    scratch = std::max(scratch, layer.infer_scratch_floats(shape));
+    shape = layer.output_shape(shape);
+    acts_.emplace_back(capacity_, shape.channels(), shape.height(), shape.width());
+  }
+  scratch_.assign(scratch, 0.0F);
+}
+
+Tensor4& InferenceContext::input(std::int32_t n) {
+  // Callers chunk to the bound capacity (PipelineSession::detect_batch);
+  // staging more would silently reallocate every buffer.
+  assert(bound() && n >= 0 && n <= capacity_);
+  acts_.front().set_batch(n);
+  return acts_.front();
+}
+
+}  // namespace dl2f::nn

@@ -1,0 +1,56 @@
+// The inference arena: every buffer the const scoring path touches.
+//
+// An InferenceContext is bound once to a (model, input shape, batch
+// capacity) triple; bind() preallocates one NCHW activation buffer per
+// layer boundary plus the worst-case per-sample layer scratch. After that,
+// scoring any batch up to the capacity performs zero heap allocations:
+// callers stage samples into input(), run Sequential::infer_batch, and
+// read the returned activations. Rebinding to a different model/shape or
+// a larger batch reallocates; same-or-smaller requests are no-ops.
+//
+// The context is the mutable half of the const-shared/mutable-scratch
+// split: one immutable Sequential (weights) can be shared by any number
+// of threads, each owning its own InferenceContext.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dl2f::nn {
+
+class Sequential;
+
+class InferenceContext {
+ public:
+  InferenceContext() = default;
+
+  /// Preallocate activations and scratch for up to `max_batch` samples of
+  /// `input_shape` through `model`. Idempotent for an equal-or-smaller
+  /// binding; reallocates otherwise. `model` is borrowed and must outlive
+  /// the context (or be re-bound).
+  void bind(const Sequential& model, const Tensor3& input_shape, std::int32_t max_batch);
+
+  [[nodiscard]] bool bound() const noexcept { return model_ != nullptr; }
+  [[nodiscard]] const Sequential* model() const noexcept { return model_; }
+  [[nodiscard]] std::int32_t capacity() const noexcept { return capacity_; }
+
+  /// The input staging buffer, with its active batch set to `n`.
+  /// Allocation-free; `n` must not exceed capacity() — batch callers
+  /// chunk instead of growing the binding.
+  [[nodiscard]] Tensor4& input(std::int32_t n);
+
+  /// Activation buffer after layer `i` (0 = the input staging buffer).
+  [[nodiscard]] const Tensor4& activation(std::size_t i) const { return acts_[i]; }
+
+ private:
+  friend class Sequential;
+
+  const Sequential* model_ = nullptr;
+  std::int32_t capacity_ = 0;
+  std::int32_t input_c_ = 0, input_h_ = 0, input_w_ = 0;
+  std::vector<Tensor4> acts_;  ///< [0] input, [i+1] output of layer i
+  std::vector<float> scratch_;
+};
+
+}  // namespace dl2f::nn

@@ -1,6 +1,16 @@
-// Layer interface: forward caches whatever backward needs; backward
+// Layer interface.
+//
+// Training path: forward caches whatever backward needs; backward
 // accumulates parameter gradients (zeroed explicitly by the optimizer
 // between steps) and returns the gradient w.r.t. the layer input.
+//
+// Inference path: infer_batch is const and allocation-free — it reads a
+// preallocated input batch and writes a preallocated output batch, with
+// any per-sample temporaries (e.g. the depthwise intermediate of a
+// separable convolution) placed in caller-provided scratch instead of
+// layer members. Per sample it performs the exact floating-point
+// operations of forward() in the exact same order, so inference results
+// are bitwise-identical to the training-time forward pass.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +40,18 @@ class Layer {
 
   virtual Tensor3 forward(const Tensor3& input) = 0;
   virtual Tensor3 backward(const Tensor3& grad_output) = 0;
+
+  /// Const, allocation-free batched inference. `in` holds N samples of
+  /// this layer's input shape; `out` is already sized to N samples of
+  /// output_shape(in). `scratch` points at infer_scratch_floats(...)
+  /// floats, reused sample by sample. Must not touch any member state.
+  virtual void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const = 0;
+
+  /// Per-sample scratch floats infer_batch needs for the given input
+  /// shape (0 for layers that stream input to output directly).
+  [[nodiscard]] virtual std::size_t infer_scratch_floats(const Tensor3& /*input_shape*/) const {
+    return 0;
+  }
 
   /// Learnable parameter blocks (empty for activations/pooling).
   [[nodiscard]] virtual std::vector<Param*> params() { return {}; }

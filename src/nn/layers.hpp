@@ -20,6 +20,7 @@ class Conv2D final : public Layer {
   [[nodiscard]] std::string name() const override { return "Conv2D"; }
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
+  void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
   [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
@@ -51,6 +52,7 @@ class MaxPool2D final : public Layer {
   [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
+  void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
 
  private:
@@ -64,6 +66,7 @@ class ReLU final : public Layer {
   [[nodiscard]] std::string name() const override { return "ReLU"; }
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
+  void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override { return s; }
 
  private:
@@ -75,6 +78,7 @@ class Sigmoid final : public Layer {
   [[nodiscard]] std::string name() const override { return "Sigmoid"; }
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
+  void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override { return s; }
 
  private:
@@ -86,6 +90,7 @@ class Flatten final : public Layer {
   [[nodiscard]] std::string name() const override { return "Flatten"; }
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
+  void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override {
     return Tensor3(s.channels() * s.height() * s.width(), 1, 1);
   }
@@ -101,6 +106,7 @@ class Dense final : public Layer {
   [[nodiscard]] std::string name() const override { return "Dense"; }
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
+  void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
   [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
@@ -122,6 +128,8 @@ class DepthwiseSeparableConv2D final : public Layer {
   [[nodiscard]] std::string name() const override { return "DepthwiseSeparableConv2D"; }
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
+  void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
+  [[nodiscard]] std::size_t infer_scratch_floats(const Tensor3& input_shape) const override;
   [[nodiscard]] std::vector<Param*> params() override {
     return {&depth_weights_, &point_weights_, &bias_};
   }

@@ -1,6 +1,7 @@
 #include "nn/model.hpp"
 
 #include <cstdint>
+#include "nn/inference.hpp"
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -23,6 +24,16 @@ Tensor3 Sequential::backward(const Tensor3& grad_output) {
   return g;
 }
 
+const Tensor4& Sequential::infer_batch(InferenceContext& ctx) const {
+  assert(ctx.model() == this);
+  const std::int32_t n = ctx.acts_.front().batch();
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    ctx.acts_[l + 1].set_batch(n);
+    layers_[l]->infer_batch(ctx.acts_[l], ctx.acts_[l + 1], ctx.scratch_.data());
+  }
+  return ctx.acts_.back();
+}
+
 void Sequential::init_weights(Rng& rng) {
   for (auto& l : layers_) l->init_weights(rng);
 }
@@ -35,9 +46,17 @@ std::vector<Param*> Sequential::params() {
   return out;
 }
 
-std::size_t Sequential::param_count() {
+std::vector<const Param*> Sequential::params() const {
+  std::vector<const Param*> out;
+  for (const auto& l : layers_) {
+    for (const auto* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Sequential::param_count() const {
   std::size_t n = 0;
-  for (auto* p : params()) n += p->size();
+  for (const auto* p : params()) n += p->size();
   return n;
 }
 
@@ -51,7 +70,7 @@ Tensor3 Sequential::output_shape(const Tensor3& input_shape) const {
   return s;
 }
 
-bool Sequential::save(std::ostream& os) {
+bool Sequential::save(std::ostream& os) const {
   const auto blocks = params();
   const std::uint32_t magic = kMagic;
   const auto count = static_cast<std::uint32_t>(blocks.size());
@@ -82,7 +101,7 @@ bool Sequential::load(std::istream& is) {
   return static_cast<bool>(is);
 }
 
-bool Sequential::save_file(const std::string& path) {
+bool Sequential::save_file(const std::string& path) const {
   std::ofstream f(path, std::ios::binary);
   return f && save(f);
 }

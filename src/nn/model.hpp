@@ -10,6 +10,8 @@
 
 namespace dl2f::nn {
 
+class InferenceContext;
+
 class Sequential {
  public:
   Sequential() = default;
@@ -26,15 +28,25 @@ class Sequential {
 
   [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
 
+  /// Training forward: each layer caches what backward needs. One sample
+  /// at a time; allocates per layer. For scoring, use infer_batch.
   Tensor3 forward(const Tensor3& input);
   /// Backprop from the loss gradient at the output; accumulates parameter
   /// gradients in every layer.
   Tensor3 backward(const Tensor3& grad_output);
 
+  /// Const, allocation-free batched inference through a context bound to
+  /// this model: stage samples via ctx.input(n), then call; returns the
+  /// last layer's activations (valid until the context is next used).
+  /// Bitwise-identical per sample to forward().
+  const Tensor4& infer_batch(InferenceContext& ctx) const;
+
   void init_weights(Rng& rng);
   [[nodiscard]] std::vector<Param*> params();
-  [[nodiscard]] std::size_t param_count();
+  [[nodiscard]] std::vector<const Param*> params() const;
+  [[nodiscard]] std::size_t param_count() const;
   void zero_grad();
 
   /// Output shape for a given input shape (shape propagation only).
@@ -44,9 +56,9 @@ class Sequential {
   /// layer order, preceded by a magic/count header. The architecture
   /// itself is code, not data — loading into a mismatched architecture is
   /// rejected via the scalar-count check.
-  bool save(std::ostream& os);
+  bool save(std::ostream& os) const;
   bool load(std::istream& is);
-  bool save_file(const std::string& path);
+  bool save_file(const std::string& path) const;
   bool load_file(const std::string& path);
 
  private:

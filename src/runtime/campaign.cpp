@@ -26,8 +26,8 @@ std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
-JobResult run_job(const CampaignConfig& cfg, core::Dl2Fence& fence, const std::string& family,
-                  std::uint64_t seed) {
+JobResult run_job(const CampaignConfig& cfg, const core::PipelineEngine& engine,
+                  const std::string& family, std::uint64_t seed) {
   JobResult result;
   result.family = family;
   result.seed = seed;
@@ -47,7 +47,7 @@ JobResult run_job(const CampaignConfig& cfg, core::Dl2Fence& fence, const std::s
   traffic::Simulation sim(mesh_cfg);
   scenario->install(sim, job_seed ^ 0x9e3779b97f4a7c15ULL);
 
-  DefenseRuntime runtime(sim, fence, cfg.defense);
+  DefenseRuntime runtime(sim, engine, cfg.defense);
   runtime.attach_scenario(scenario.get());
   runtime.run_windows(cfg.windows);
   result.summary = runtime.summarize(cfg.recovery_ratio);
@@ -56,15 +56,24 @@ JobResult run_job(const CampaignConfig& cfg, core::Dl2Fence& fence, const std::s
 
 }  // namespace
 
-ModelSnapshot ModelSnapshot::capture(core::Dl2Fence& fence) {
+ModelSnapshot ModelSnapshot::capture(const core::PipelineEngine& engine) {
   ModelSnapshot snap;
-  snap.config = fence.config();
+  snap.config = engine.config();
   std::ostringstream det, loc;
-  fence.detector().model().save(det);
-  fence.localizer().model().save(loc);
+  engine.detector().model().save(det);
+  engine.localizer().model().save(loc);
   snap.detector_weights = det.str();
   snap.localizer_weights = loc.str();
   return snap;
+}
+
+ModelSnapshot ModelSnapshot::capture(const core::Dl2Fence& fence) {
+  return capture(fence.engine());
+}
+
+core::PipelineEngine ModelSnapshot::make_engine() const {
+  std::istringstream det(detector_weights), loc(localizer_weights);
+  return core::PipelineEngine(config, det, loc);
 }
 
 core::Dl2Fence ModelSnapshot::restore() const {
@@ -131,6 +140,11 @@ CampaignResult run_campaign(const CampaignConfig& cfg, const ModelSnapshot& mode
   // construction never races.
   (void)ScenarioRegistry::instance().names();
 
+  // The campaign's single weight deserialization: one const engine, shared
+  // by reference across the whole pool (each job's DefenseRuntime carries
+  // its own PipelineSession scratch).
+  const core::PipelineEngine engine = model.make_engine();
+
   const auto worker_count = static_cast<std::size_t>(
       std::max(1, std::min<std::int32_t>(cfg.threads, static_cast<std::int32_t>(jobs.size()))));
   std::atomic<std::size_t> cursor{0};
@@ -139,16 +153,15 @@ CampaignResult run_campaign(const CampaignConfig& cfg, const ModelSnapshot& mode
   std::mutex error_mutex;
 
   const auto worker = [&]() {
-    // One deserialized pipeline per worker; inference is read-only, so
-    // reuse across this worker's jobs is safe and deterministic. A worker
-    // exception (bad snapshot, factory refusing the params) stops the pool
-    // and is rethrown to the caller instead of terminating the process.
+    // Workers share the one engine read-only; scoring state lives in each
+    // job's session, so reuse is safe and deterministic. A worker
+    // exception (factory refusing the params) stops the pool and is
+    // rethrown to the caller instead of terminating the process.
     try {
-      core::Dl2Fence fence = model.restore();
       while (!failed.load(std::memory_order_relaxed)) {
         const std::size_t i = cursor.fetch_add(1);
         if (i >= jobs.size()) break;
-        result.jobs[i] = run_job(cfg, fence, *jobs[i].family, jobs[i].seed);
+        result.jobs[i] = run_job(cfg, engine, *jobs[i].family, jobs[i].seed);
       }
     } catch (...) {
       const std::scoped_lock lock(error_mutex);

@@ -4,10 +4,12 @@
 //
 // Scaling model: one complete, independent Simulation + DefenseRuntime per
 // job; a worker pool of std::threads drains the job grid through an atomic
-// cursor. The trained CNN pair is shared as a ModelSnapshot — serialized
-// weights each worker deserializes into its own Dl2Fence once — so jobs
-// never share mutable state and results are byte-identical for any worker
-// count (each job's randomness derives only from its own grid coordinates).
+// cursor. The trained CNN pair is deserialized ONCE from the ModelSnapshot
+// into a single const core::PipelineEngine that every worker shares by
+// reference — each job's DefenseRuntime brings its own PipelineSession
+// scratch — so jobs never share mutable state and results are
+// byte-identical for any worker count (each job's randomness derives only
+// from its own grid coordinates).
 #pragma once
 
 #include <cstdint>
@@ -20,14 +22,21 @@
 
 namespace dl2f::runtime {
 
-/// A trained Dl2Fence frozen as bytes, cheap to copy across workers.
+/// A trained pipeline frozen as bytes — the serialization format for
+/// trained weights (files, fleets, checkpoints).
 struct ModelSnapshot {
   core::Dl2FenceConfig config;
   std::string detector_weights;
   std::string localizer_weights;
 
-  static ModelSnapshot capture(core::Dl2Fence& fence);
-  /// Rebuild a live pipeline from the frozen weights.
+  static ModelSnapshot capture(const core::PipelineEngine& engine);
+  static ModelSnapshot capture(const core::Dl2Fence& fence);
+
+  /// Deserialize into a shareable engine (the one weight load a campaign
+  /// performs). Throws std::runtime_error on an architecture mismatch.
+  [[nodiscard]] core::PipelineEngine make_engine() const;
+
+  /// Deprecated: rebuild a live shim pipeline from the frozen weights.
   [[nodiscard]] core::Dl2Fence restore() const;
 };
 

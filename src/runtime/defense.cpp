@@ -5,9 +5,10 @@
 
 namespace dl2f::runtime {
 
-DefenseRuntime::DefenseRuntime(traffic::Simulation& sim, core::Dl2Fence& fence, DefenseConfig cfg)
-    : sim_(sim), fence_(fence), cfg_(cfg), sampler_(sim.mesh().shape()) {
-  assert(fence.config().detector.mesh == sim.mesh().shape());
+DefenseRuntime::DefenseRuntime(traffic::Simulation& sim, const core::PipelineEngine& engine,
+                               DefenseConfig cfg)
+    : sim_(sim), session_(engine, /*max_batch=*/1), cfg_(cfg), sampler_(sim.mesh().shape()) {
+  assert(engine.config().detector.mesh == sim.mesh().shape());
   const auto n = static_cast<std::size_t>(sim.mesh().shape().node_count());
   votes_.assign(n, 0);
   clean_streak_.assign(n, 0);
@@ -19,6 +20,9 @@ DefenseRuntime::DefenseRuntime(traffic::Simulation& sim, core::Dl2Fence& fence, 
   prev_benign_count_ = bs.packets_ejected();
   prev_hist_ = bs.packet_latency_histogram();
 }
+
+DefenseRuntime::DefenseRuntime(traffic::Simulation& sim, core::Dl2Fence& fence, DefenseConfig cfg)
+    : DefenseRuntime(sim, fence.engine(), cfg) {}
 
 WindowRecord DefenseRuntime::run_window() {
   auto& mesh = sim_.mesh();
@@ -48,7 +52,7 @@ WindowRecord DefenseRuntime::run_window() {
   monitor::FrameSample sample;
   sample.vco = sampler_.sample_vco(mesh);
   sample.boc = sampler_.sample_boc(mesh, /*reset=*/true);
-  const core::RoundResult round = fence_.process(sample);
+  const core::RoundResult round = session_.process(sample);
   rec.detected = round.detected;
   rec.probability = round.probability;
   rec.tlm_attackers = round.tlm.attackers;

@@ -1,8 +1,10 @@
 // The online closed loop: detect -> localize -> quarantine -> recover.
 //
-// The offline pipeline (core::Dl2Fence) scores monitoring windows after
-// the fact; DefenseRuntime runs it *against a live simulation* and acts on
-// the result. Each monitoring window it
+// The offline pipeline (core::PipelineEngine scored through a
+// core::PipelineSession) rates monitoring windows after the fact;
+// DefenseRuntime runs it *against a live simulation* and acts on the
+// result — it owns a session of its own, so many runtimes can share one
+// trained engine. Each monitoring window it
 //   (1) advances the Simulation window_cycles (driving the attached
 //       Scenario's dynamics cycle by cycle),
 //   (2) samples VCO/BOC frames exactly as the training datasets do,
@@ -91,8 +93,14 @@ struct DefenseSummary {
 
 class DefenseRuntime {
  public:
-  /// `sim` and `fence` are borrowed and must outlive the runtime; `fence`
-  /// is expected to be trained for sim's mesh shape.
+  /// `sim` and `engine` are borrowed and must outlive the runtime; the
+  /// engine is expected to be trained for sim's mesh shape. The runtime
+  /// owns its own PipelineSession, so any number of runtimes (one per
+  /// worker, say) can share one engine.
+  DefenseRuntime(traffic::Simulation& sim, const core::PipelineEngine& engine,
+                 DefenseConfig cfg = {});
+
+  /// Deprecated shim overload: borrows the fence's engine.
   DefenseRuntime(traffic::Simulation& sim, core::Dl2Fence& fence, DefenseConfig cfg = {});
 
   /// Optional: attach the scenario driving the attack. Enables ground-truth
@@ -119,7 +127,7 @@ class DefenseRuntime {
   void update_mitigation(const core::RoundResult& round, WindowRecord& rec);
 
   traffic::Simulation& sim_;
-  core::Dl2Fence& fence_;
+  core::PipelineSession session_;  ///< per-runtime scratch over the shared engine
   DefenseConfig cfg_;
   monitor::FeatureSampler sampler_;
   Scenario* scenario_ = nullptr;

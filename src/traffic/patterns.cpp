@@ -25,8 +25,8 @@ int node_id_bits(const MeshShape& mesh) noexcept {
 namespace {
 
 /// Permutation patterns need a power-of-two id space; all paper meshes
-/// (4x4 .. 32x32) satisfy this.
-bool is_pow2_mesh(const MeshShape& mesh) noexcept {
+/// (4x4 .. 32x32) satisfy this. Assert-only, hence unused under NDEBUG.
+[[maybe_unused]] bool is_pow2_mesh(const MeshShape& mesh) noexcept {
   return std::has_single_bit(static_cast<std::uint32_t>(mesh.node_count()));
 }
 

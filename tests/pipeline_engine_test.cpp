@@ -1,0 +1,186 @@
+// Engine/session split: batched scoring must be bitwise-identical to the
+// per-window shim path (and to the training-time forward pass), and one
+// immutable PipelineEngine must be safely shareable across concurrent
+// sessions with deterministic results.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "core/evaluation.hpp"
+#include "monitor/dataset.hpp"
+
+namespace dl2f {
+namespace {
+
+constexpr std::int32_t kMeshSide = 8;
+
+/// Random but deterministic feature frames; VCO in [0,1), BOC integer-ish
+/// counts — the value ranges the samplers produce.
+monitor::FrameSample synthetic_window(const monitor::FrameGeometry& geom, Rng& rng,
+                                      bool under_attack) {
+  monitor::FrameSample s;
+  s.under_attack = under_attack;
+  for (Direction d : kMeshDirections) {
+    Frame vco = geom.make_frame();
+    Frame boc = geom.make_frame();
+    for (float& v : vco.data()) v = static_cast<float>(rng.uniform());
+    for (float& v : boc.data()) v = static_cast<float>(rng.uniform_int(0, 400));
+    monitor::frame_of(s.vco, d) = std::move(vco);
+    monitor::frame_of(s.boc, d) = std::move(boc);
+    monitor::frame_of(s.port_truth, d) = geom.make_frame();
+  }
+  return s;
+}
+
+std::vector<monitor::FrameSample> synthetic_windows(std::size_t count, std::uint64_t seed) {
+  const monitor::FrameGeometry geom(MeshShape::square(kMeshSide));
+  Rng rng(seed);
+  std::vector<monitor::FrameSample> windows;
+  windows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    windows.push_back(synthetic_window(geom, rng, i % 2 == 0));
+  }
+  return windows;
+}
+
+/// Deterministically initialized (untrained) shim; parity does not care
+/// about model quality, only that both paths see identical weights.
+core::Dl2Fence deterministic_fence() {
+  core::Dl2Fence fence(core::Dl2FenceConfig::paper_default(MeshShape::square(kMeshSide)));
+  Rng det_rng(7), loc_rng(8);
+  fence.detector().model().init_weights(det_rng);
+  fence.localizer().model().init_weights(loc_rng);
+  return fence;
+}
+
+void expect_bitwise_equal(const core::RoundResult& a, const core::RoundResult& b,
+                          std::size_t index) {
+  EXPECT_EQ(a.detected, b.detected) << "window " << index;
+  EXPECT_EQ(std::memcmp(&a.probability, &b.probability, sizeof(float)), 0)
+      << "window " << index << ": " << a.probability << " vs " << b.probability;
+  EXPECT_EQ(a.victims, b.victims) << "window " << index;
+  EXPECT_EQ(a.tlm.attackers, b.tlm.attackers) << "window " << index;
+  EXPECT_EQ(a.tlm.target_victims, b.tlm.target_victims) << "window " << index;
+  EXPECT_EQ(a.fusion.victims, b.fusion.victims) << "window " << index;
+  EXPECT_EQ(a.fusion.mff, b.fusion.mff) << "window " << index;
+}
+
+TEST(PipelineEngine, ProcessBatchBitwiseIdenticalToShimProcess) {
+  core::Dl2Fence fence = deterministic_fence();
+  const auto windows = synthetic_windows(21, 0x1234);  // odd count: exercises chunk tails
+
+  core::PipelineSession session(fence.engine(), /*max_batch=*/8);
+  const auto batched = session.process_batch({windows.data(), windows.size()});
+  ASSERT_EQ(batched.size(), windows.size());
+
+  std::size_t detected = 0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const core::RoundResult single = fence.process(windows[i]);
+    expect_bitwise_equal(batched[i], single, i);
+    detected += batched[i].detected ? 1 : 0;
+  }
+  // The synthetic set must exercise both branches for the parity claim to
+  // mean anything.
+  EXPECT_GT(detected, 0U);
+  EXPECT_LT(detected, windows.size());
+}
+
+TEST(PipelineEngine, InferencePathMatchesTrainingForwardBitwise) {
+  // Deployment verdicts must never drift from what training measured: the
+  // const batched path reproduces Sequential::forward exactly.
+  core::Dl2Fence fence = deterministic_fence();
+  const auto windows = synthetic_windows(9, 0x777);
+
+  core::PipelineSession session(fence.engine());
+  const auto probs = session.detect_batch({windows.data(), windows.size()});
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const float training = fence.detector().predict_probability(windows[i]);
+    EXPECT_EQ(std::memcmp(&training, &probs[i], sizeof(float)), 0)
+        << "window " << i << ": " << training << " vs " << probs[i];
+  }
+}
+
+TEST(PipelineEngine, LocalizeBatchMatchesShimLocalize) {
+  core::Dl2Fence fence = deterministic_fence();
+  const auto windows = synthetic_windows(6, 0xabcd);
+
+  core::PipelineSession session(fence.engine());
+  const auto batched = session.localize_batch({windows.data(), windows.size()});
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const core::RoundResult single = fence.localize(windows[i]);
+    expect_bitwise_equal(batched[i], single, i);
+  }
+}
+
+TEST(PipelineEngine, OneEngineSharedByFourConcurrentSessionsIsDeterministic) {
+  core::Dl2Fence fence = deterministic_fence();
+  const core::PipelineEngine& engine = fence.engine();
+  const auto windows = synthetic_windows(24, 0xbeef);
+  const monitor::WindowBatch batch{windows.data(), windows.size()};
+
+  core::PipelineSession reference_session(engine);
+  const auto reference = reference_session.process_batch(batch);
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<core::RoundResult>> results(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      core::PipelineSession session(engine);  // per-thread scratch
+      results[static_cast<std::size_t>(t)] = session.process_batch(batch);
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    const auto& r = results[static_cast<std::size_t>(t)];
+    ASSERT_EQ(r.size(), reference.size()) << "thread " << t;
+    for (std::size_t i = 0; i < r.size(); ++i) expect_bitwise_equal(r[i], reference[i], i);
+  }
+}
+
+TEST(PipelineEngine, BatchLargerThanSessionCapacityIsChunked) {
+  core::Dl2Fence fence = deterministic_fence();
+  const auto windows = synthetic_windows(5, 0x5150);
+
+  // A batch larger than the session capacity is scored in max_batch-sized
+  // chunks (2+2+1 here) and must stay identical to the per-window path.
+  core::PipelineSession tiny(fence.engine(), /*max_batch=*/2);
+  const auto batched = tiny.process_batch({windows.data(), windows.size()});
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    expect_bitwise_equal(batched[i], fence.process(windows[i]), i);
+  }
+}
+
+TEST(PipelineEngine, EngineScoreBenchmarkMatchesShimScores) {
+  core::Dl2Fence fence = deterministic_fence();
+
+  monitor::Dataset test;
+  test.mesh = MeshShape::square(kMeshSide);
+  test.samples = synthetic_windows(16, 0xfeed);
+  for (auto& s : test.samples) {
+    if (s.under_attack) s.victim_truth = {1, 2, 3};
+  }
+
+  const auto via_engine = core::score_benchmark(fence.engine(), "synthetic", test);
+  const auto via_shim = core::score_benchmark(fence, "synthetic", test);
+  EXPECT_EQ(via_engine.detection.accuracy, via_shim.detection.accuracy);
+  EXPECT_EQ(via_engine.detection.f1, via_shim.detection.f1);
+  EXPECT_EQ(via_engine.localization.accuracy, via_shim.localization.accuracy);
+  EXPECT_EQ(via_engine.localization.f1, via_shim.localization.f1);
+}
+
+TEST(PipelineEngine, SnapshotMakeEngineRejectsMismatchedBlobs) {
+  const core::Dl2FenceConfig cfg =
+      core::Dl2FenceConfig::paper_default(MeshShape::square(kMeshSide));
+  std::istringstream det("garbage"), loc("garbage");
+  EXPECT_THROW(core::PipelineEngine(cfg, det, loc), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dl2f
