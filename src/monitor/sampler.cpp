@@ -20,6 +20,12 @@ DirectionalFrames FeatureSampler::sample_vco(const noc::Mesh& mesh) const {
   return frames;
 }
 
+DirectionalFrames FeatureSampler::sample_vco(noc::Mesh& mesh, bool reset) const {
+  DirectionalFrames frames = sample_vco(static_cast<const noc::Mesh&>(mesh));
+  if (reset) mesh.reset_occupancy_windows();
+  return frames;
+}
+
 DirectionalFrames FeatureSampler::sample_boc(noc::Mesh& mesh, bool reset) const {
   DirectionalFrames frames;
   for (Direction d : kMeshDirections) frame_of(frames, d) = geom_.make_frame();
@@ -35,7 +41,7 @@ DirectionalFrames FeatureSampler::sample_boc(noc::Mesh& mesh, bool reset) const 
           static_cast<float>(router.input(d).telemetry.operations());
     }
   }
-  if (reset) mesh.reset_telemetry();
+  if (reset) mesh.reset_boc_counters();
   return frames;
 }
 

@@ -35,10 +35,19 @@ class FeatureSampler {
   /// average restores the same congestion semantics (DESIGN.md §2).
   [[nodiscard]] DirectionalFrames sample_vco(const noc::Mesh& mesh) const;
 
+  /// As above, but when `reset` is true a new occupancy-averaging window
+  /// starts after the read. Each feature owns its window lifecycle: BOC
+  /// resets only the operation counters, VCO resets only the occupancy
+  /// windows, so a monitoring round may sample the two features in either
+  /// order (historically sample_boc reset both, so sampling BOC first
+  /// silently collapsed the VCO average to its instantaneous fallback).
+  [[nodiscard]] DirectionalFrames sample_vco(noc::Mesh& mesh, bool reset) const;
+
   /// Accumulated buffer operation counts (reads + writes) per input port
-  /// since the last telemetry reset. Integer-natured; callers normalize
+  /// since the last counter reset. Integer-natured; callers normalize
   /// before feeding the segmentation model (§4).
-  /// When `reset` is true the counters restart for the next window.
+  /// When `reset` is true the counters restart for the next window (the
+  /// VCO occupancy windows are left untouched — see sample_vco).
   [[nodiscard]] DirectionalFrames sample_boc(noc::Mesh& mesh, bool reset = true) const;
 
  private:

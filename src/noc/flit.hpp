@@ -5,6 +5,8 @@
 // flit (releases the virtual channel). Single-flit packets use HeadTail.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 
 #include "common/geometry.hpp"
@@ -35,6 +37,55 @@ struct Flit {
   Cycle created = 0;             ///< cycle the packet was created at the source
   Cycle injected = 0;            ///< cycle the head left the source queue into the NoC
   bool malicious = false;        ///< true for FDoS flooding packets (ground truth only)
+};
+
+/// Fixed-capacity inline FIFO of flits — the virtual-channel buffer.
+///
+/// Flits are small PODs, so a VC's FIFO lives entirely inside the owning
+/// router object (no per-flit heap traffic, no deque block bookkeeping):
+/// pushing and popping are an index update plus a 48-byte copy. Capacity
+/// is a compile-time power of two; the *usable* depth is the runtime
+/// `RouterConfig::vc_depth`, enforced by the router's credit flow control
+/// (and an assert here as the last line of defense).
+class FlitRing {
+ public:
+  /// Inline slot count; RouterConfig::vc_depth may not exceed this.
+  static constexpr std::int32_t kCapacity = 16;
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::int32_t size() const noexcept { return count_; }
+
+  [[nodiscard]] Flit& front() noexcept {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] const Flit& front() const noexcept {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+
+  void push_back(const Flit& f) noexcept {
+    assert(count_ < kCapacity);
+    slots_[(head_ + static_cast<std::uint32_t>(count_)) & kMask] = f;
+    ++count_;
+  }
+  void pop_front() noexcept {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & kMask;
+    --count_;
+  }
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kMask = static_cast<std::uint32_t>(kCapacity) - 1;
+  static_assert((kCapacity & (kCapacity - 1)) == 0, "ring capacity must be a power of two");
+
+  std::array<Flit, kCapacity> slots_{};
+  std::uint32_t head_ = 0;      ///< index of the oldest flit
+  std::int32_t count_ = 0;      ///< buffered flits
 };
 
 /// A packet waiting in (or being drained from) a node's source queue.

@@ -9,11 +9,24 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   const auto n = static_cast<std::size_t>(cfg.shape.node_count());
   routers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    routers_.push_back(std::make_unique<Router>(static_cast<NodeId>(i), cfg.shape, cfg.router));
+    routers_.emplace_back(static_cast<NodeId>(i), cfg.shape, cfg.router);
   }
   source_queues_.resize(n);
   inject_vc_.assign(n, -1);
   quarantined_.assign(n, 0);
+  router_active_.assign(n, 0);
+  source_active_.assign(n, 0);
+  active_routers_.reserve(n);
+  active_sources_.reserve(n);
+  // Reserve every arena at its physical per-cycle maximum so Mesh::step
+  // can never allocate, not even transiently: a router latches at most one
+  // flit per output port per cycle (4 link transfers + 1 ejection) and
+  // returns at most one credit per SA winner (<= kNumPorts).
+  arrivals_.reserve(n * (kNumPorts - 1));
+  credit_updates_.reserve(n * kNumPorts);
+  transfers_.reserve(kNumPorts - 1);
+  credits_.reserve(kNumPorts);
+  ejected_.reserve(kNumPorts);
 }
 
 PacketId Mesh::inject(NodeId src, NodeId dst, std::int32_t length_flits, bool malicious) {
@@ -32,17 +45,23 @@ PacketId Mesh::inject(NodeId src, NodeId dst, std::int32_t length_flits, bool ma
   auto& q = source_queues_[static_cast<std::size_t>(src)];
   q.push_back(p);
   max_queue_len_ = std::max(max_queue_len_, q.size());
+  activate_source(src);
   return p.id;
 }
 
 void Mesh::run_network_interfaces() {
   // Each NI serializes the packet at the head of its source queue into a
   // local-input virtual channel, one flit per cycle (injection bandwidth of
-  // one flit/cycle, as in Garnet's NetworkInterface).
-  for (std::size_t node = 0; node < source_queues_.size(); ++node) {
+  // one flit/cycle, as in Garnet's NetworkInterface). Only nodes with a
+  // non-empty source queue are on the worklist; visiting in ascending node
+  // order keeps the sweep deterministic.
+  if (active_sources_.empty()) return;
+  std::sort(active_sources_.begin(), active_sources_.end());
+  for (const NodeId node_id : active_sources_) {
+    const auto node = static_cast<std::size_t>(node_id);
     auto& q = source_queues_[node];
-    if (q.empty()) continue;
-    auto& router = *routers_[node];
+    if (q.empty()) continue;  // drained by a quarantine flush; compacted below
+    auto& router = routers_[node];
     auto& local = router.input(Direction::Local);
     auto& pkt = q.front();
 
@@ -59,7 +78,7 @@ void Mesh::run_network_interfaces() {
     }
 
     auto& vc = local.vcs[static_cast<std::size_t>(inject_vc_[node])];
-    if (static_cast<std::int32_t>(vc.buffer.size()) >= cfg_.router.vc_depth) continue;
+    if (vc.buffer.size() >= cfg_.router.vc_depth) continue;
 
     Flit flit;
     flit.packet = pkt.id;
@@ -80,57 +99,57 @@ void Mesh::run_network_interfaces() {
     }
 
     router.accept_flit(Direction::Local, inject_vc_[node], flit, now_);
+    activate_router(node_id);
     ++pkt.flits_sent;
     if (pkt.flits_sent == pkt.length_flits) {
       q.pop_front();
       inject_vc_[node] = -1;
     }
   }
+  // Compact: nodes whose queue emptied leave the worklist.
+  active_sources_.erase(
+      std::remove_if(active_sources_.begin(), active_sources_.end(),
+                     [&](NodeId id) {
+                       if (!source_queues_[static_cast<std::size_t>(id)].empty()) return false;
+                       source_active_[static_cast<std::size_t>(id)] = 0;
+                       return true;
+                     }),
+      active_sources_.end());
 }
 
 void Mesh::step() {
   run_network_interfaces();
 
-  // Two-phase update: every router computes its transfers from the current
-  // state; arrivals and credit returns are applied afterwards, giving a
-  // uniform one-cycle link latency with no router-order artifacts.
-  struct PendingTransfer {
-    NodeId to;
-    Direction in_dir;  ///< input port at the destination router
-    std::int32_t vc;
-    Flit flit;
-  };
-  struct PendingCredit {
-    NodeId to;
-    Direction out_dir;  ///< output port at the upstream router
-    std::int32_t vc;
-  };
-  std::vector<PendingTransfer> arrivals;
-  std::vector<PendingCredit> credit_updates;
-  std::vector<LinkTransfer> transfers;
-  std::vector<CreditReturn> credits;
-  std::vector<Flit> ejected;
+  // Two-phase update: every active router computes its transfers from the
+  // current state; arrivals and credit returns are applied afterwards,
+  // giving a uniform one-cycle link latency with no router-order
+  // artifacts. The worklist is sorted so routers are visited — and their
+  // ejections recorded into the (order-sensitive) latency accumulators —
+  // in ascending id order, exactly like the pre-worklist full sweep.
+  arrivals_.clear();
+  credit_updates_.clear();
+  std::sort(active_routers_.begin(), active_routers_.end());
 
-  for (auto& router_ptr : routers_) {
-    transfers.clear();
-    credits.clear();
-    ejected.clear();
-    Router& r = *router_ptr;
-    r.step(cfg_.shape, transfers, credits, ejected, now_);
+  for (const NodeId id : active_routers_) {
+    transfers_.clear();
+    credits_.clear();
+    ejected_.clear();
+    Router& r = routers_[static_cast<std::size_t>(id)];
+    r.step(cfg_.shape, transfers_, credits_, ejected_, now_);
 
-    for (const auto& t : transfers) {
+    for (const auto& t : transfers_) {
       const auto neighbor = cfg_.shape.neighbor(r.id(), t.out_dir);
       assert(neighbor.has_value());
-      arrivals.push_back(PendingTransfer{*neighbor, opposite(t.out_dir), t.out_vc, t.flit});
+      arrivals_.push_back(PendingTransfer{*neighbor, opposite(t.out_dir), t.out_vc, t.flit});
     }
-    for (const auto& c : credits) {
+    for (const auto& c : credits_) {
       // The flit was read from input port `c.in_dir`; the upstream router
       // lies in that direction and regains a credit on its facing output.
       const auto upstream = cfg_.shape.neighbor(r.id(), c.in_dir);
       assert(upstream.has_value());
-      credit_updates.push_back(PendingCredit{*upstream, opposite(c.in_dir), c.vc});
+      credit_updates_.push_back(PendingCredit{*upstream, opposite(c.in_dir), c.vc});
     }
-    for (const auto& f : ejected) {
+    for (const auto& f : ejected_) {
       stats_.on_flit_ejected(f, now_);
       if (is_tail(f.type)) stats_.on_packet_ejected(f, now_);
       if (!f.malicious) {
@@ -140,14 +159,29 @@ void Mesh::step() {
     }
   }
 
-  for (const auto& a : arrivals) {
+  for (const auto& a : arrivals_) {
     // Arrivals land at the end of the cycle; timestamp them at now_ + 1 so
     // the occupancy integral attributes the new flit to the next cycle.
-    routers_[static_cast<std::size_t>(a.to)]->accept_flit(a.in_dir, a.vc, a.flit, now_ + 1);
+    routers_[static_cast<std::size_t>(a.to)].accept_flit(a.in_dir, a.vc, a.flit, now_ + 1);
+    activate_router(a.to);
   }
-  for (const auto& c : credit_updates) {
-    routers_[static_cast<std::size_t>(c.to)]->accept_credit(c.out_dir, c.vc);
+  for (const auto& c : credit_updates_) {
+    routers_[static_cast<std::size_t>(c.to)].accept_credit(c.out_dir, c.vc);
   }
+
+  // Compact: routers that drained completely leave the worklist. A router
+  // with an Active-but-empty VC holds no flits and has nothing to do until
+  // the next arrival re-activates it.
+  active_routers_.erase(
+      std::remove_if(active_routers_.begin(), active_routers_.end(),
+                     [&](NodeId id) {
+                       if (routers_[static_cast<std::size_t>(id)].buffered_flits() > 0) {
+                         return false;
+                       }
+                       router_active_[static_cast<std::size_t>(id)] = 0;
+                       return true;
+                     }),
+      active_routers_.end());
 
   ++now_;
 }
@@ -165,6 +199,7 @@ void Mesh::set_quarantined(NodeId id, bool quarantined) {
   // whole windows after the fence. A packet already mid-serialization must
   // finish (dropping it would strand a tail-less wormhole packet that
   // holds its virtual channels forever); everything behind it is dropped.
+  // An emptied queue leaves the source worklist at the next NI compaction.
   auto& q = source_queues_[static_cast<std::size_t>(id)];
   const std::size_t keep = (!q.empty() && q.front().flits_sent > 0) ? 1 : 0;
   packets_dropped_ += static_cast<std::int64_t>(q.size() - keep);
@@ -180,8 +215,12 @@ std::vector<NodeId> Mesh::quarantined_nodes() const {
 }
 
 std::int64_t Mesh::flits_in_network() const {
+  // Between steps every router holding flits is on the worklist, so the
+  // sum over the worklist is the sum over the whole mesh.
   std::int64_t total = 0;
-  for (const auto& r : routers_) total += r->buffered_flits();
+  for (const NodeId id : active_routers_) {
+    total += routers_[static_cast<std::size_t>(id)].buffered_flits();
+  }
   return total;
 }
 
@@ -191,15 +230,25 @@ bool Mesh::drained() const {
                      [](const auto& q) { return q.empty(); });
 }
 
-void Mesh::reset_telemetry() {
+void Mesh::reset_boc_counters() {
   for (auto& r : routers_) {
-    for (Direction d : kMeshDirections) {
-      r->input(d).telemetry.reset();
-      r->input(d).occ_reset(now_);
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+      r.input(static_cast<Direction>(p)).telemetry.reset();
     }
-    r->input(Direction::Local).telemetry.reset();
-    r->input(Direction::Local).occ_reset(now_);
   }
+}
+
+void Mesh::reset_occupancy_windows() {
+  for (auto& r : routers_) {
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+      r.input(static_cast<Direction>(p)).occ_reset(now_);
+    }
+  }
+}
+
+void Mesh::reset_telemetry() {
+  reset_boc_counters();
+  reset_occupancy_windows();
 }
 
 std::vector<NodeId> xy_route_path(const MeshShape& mesh, NodeId src, NodeId dst) {

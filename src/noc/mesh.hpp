@@ -5,11 +5,42 @@
 // structural state Garnet exposes (virtual-channel occupancy, buffer
 // read/write counters, queueing and network latency) is produced by the
 // same mechanisms here, so DL2Fence's feature frames keep their semantics.
+// ---------------------------------------------------------------------------
+// Hot-path storage and scheduling invariants (ISSUE 3 datapath)
+//
+// Routers live by value in one contiguous vector — stepping walks flat
+// memory, never pointer-chases. Each virtual channel's FIFO is an inline
+// FlitRing (see flit.hpp), so buffering a flit never touches the heap.
+//
+// Mesh::step reuses five mesh-owned arenas (arrivals_, credit_updates_,
+// transfers_, credits_, ejected_) that are cleared — capacity retained —
+// every cycle; after the first few warm-up cycles steady-state stepping
+// performs ZERO heap allocations (tests/noc_ring_test.cpp counts them).
+//
+// Two worklists keep idle structure off the per-cycle path:
+//  * active_routers_ — a router ENTERS when a flit is delivered to it
+//    (NI injection or link arrival) while not already listed, and LEAVES
+//    at the end-of-step compaction once `buffered_flits() == 0`. A router
+//    with an Active-but-empty VC (wormhole body flits still upstream) has
+//    buffered == 0 and correctly leaves: only a new flit arrival — which
+//    re-activates it — can give it work. Credit returns never activate:
+//    credits matter only to routers that hold flits, which are listed.
+//    Invariant between steps: buffered_flits(r) > 0  =>  r is listed.
+//  * active_sources_ — a node ENTERS when inject() lands a packet in its
+//    empty source queue and LEAVES at the network-interface compaction
+//    once the queue is empty (including after a quarantine flush).
+//    Invariant between steps: !source_queue_empty(n)  =>  n is listed.
+//  In both lists the membership flag (router_active_ / source_active_)
+//  mirrors list membership exactly, and a list may transiently hold
+//  already-drained entries until its next compaction. Worklists are
+//  sorted ascending before each sweep so ejection (and its floating-point
+//  stats accumulation) happens in router-id order — byte-identical to the
+//  pre-worklist full sweep.
+// ---------------------------------------------------------------------------
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <memory>
 #include <vector>
 
 #include "common/geometry.hpp"
@@ -33,9 +64,9 @@ class Mesh {
   [[nodiscard]] const MeshShape& shape() const noexcept { return cfg_.shape; }
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
-  [[nodiscard]] Router& router(NodeId id) { return *routers_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] Router& router(NodeId id) { return routers_[static_cast<std::size_t>(id)]; }
   [[nodiscard]] const Router& router(NodeId id) const {
-    return *routers_[static_cast<std::size_t>(id)];
+    return routers_[static_cast<std::size_t>(id)];
   }
 
   /// Queue a packet at `src`'s network interface. Uses the configured
@@ -87,17 +118,53 @@ class Mesh {
   /// True when no traffic is queued or in flight.
   [[nodiscard]] bool drained() const;
 
-  /// Reset the per-port buffer-operation counters on every router
-  /// (the monitor calls this after sampling a BOC frame set).
+  /// Reset the per-port BOC counters on every router (the monitor calls
+  /// this — or the finer-grained variants below — at window boundaries).
+  /// Equivalent to reset_boc_counters() + reset_occupancy_windows().
   void reset_telemetry();
+  /// Reset only the buffer-operation (BOC) counters, leaving the VCO
+  /// occupancy-averaging windows untouched — lets the monitor sample BOC
+  /// and VCO in either order without the BOC reset collapsing the VCO
+  /// average to its instantaneous fallback.
+  void reset_boc_counters();
+  /// Start a new VCO occupancy-averaging window on every input port.
+  void reset_occupancy_windows();
 
  private:
+  /// A flit crossing a link this cycle (applied after all routers step).
+  struct PendingTransfer {
+    NodeId to;
+    Direction in_dir;  ///< input port at the destination router
+    std::int32_t vc;
+    Flit flit;
+  };
+  /// A credit crossing a link this cycle.
+  struct PendingCredit {
+    NodeId to;
+    Direction out_dir;  ///< output port at the upstream router
+    std::int32_t vc;
+  };
+
   void run_network_interfaces();
+  /// Put a router on the active worklist (idempotent).
+  void activate_router(NodeId id) {
+    if (router_active_[static_cast<std::size_t>(id)] == 0) {
+      router_active_[static_cast<std::size_t>(id)] = 1;
+      active_routers_.push_back(id);
+    }
+  }
+  /// Put a source queue on the active worklist (idempotent).
+  void activate_source(NodeId id) {
+    if (source_active_[static_cast<std::size_t>(id)] == 0) {
+      source_active_[static_cast<std::size_t>(id)] = 1;
+      active_sources_.push_back(id);
+    }
+  }
 
   MeshConfig cfg_;
   Cycle now_ = 0;
   PacketId next_packet_id_ = 0;
-  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<Router> routers_;  ///< by value, contiguous (flat storage)
   std::vector<std::deque<PendingPacket>> source_queues_;
   /// Local-input VC each NI is currently serializing into (-1 = none).
   std::vector<std::int32_t> inject_vc_;
@@ -106,6 +173,20 @@ class Mesh {
   std::size_t max_queue_len_ = 0;
   LatencyStats stats_;
   LatencyStats benign_stats_;
+
+  // Worklists (see the invariants block at the top of this header).
+  std::vector<NodeId> active_routers_;
+  std::vector<char> router_active_;
+  std::vector<NodeId> active_sources_;
+  std::vector<char> source_active_;
+
+  // Per-cycle scratch arenas: cleared (capacity kept) every cycle, so
+  // steady-state stepping allocates nothing.
+  std::vector<PendingTransfer> arrivals_;
+  std::vector<PendingCredit> credit_updates_;
+  std::vector<LinkTransfer> transfers_;
+  std::vector<CreditReturn> credits_;
+  std::vector<Flit> ejected_;
 };
 
 /// Full XY route from src to dst, inclusive of both endpoints.

@@ -1,8 +1,25 @@
 #include "noc/router.hpp"
 
+#include <bit>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace dl2f::noc {
+
+namespace {
+
+/// First set bit of `mask` at or after `start`, wrapping around — the bit
+/// a rotated linear scan `for (offset...) slot = (start + offset) % slots`
+/// would reach first. `mask` must be non-zero.
+[[nodiscard]] std::size_t rotated_first_bit(std::uint64_t mask, std::size_t start) noexcept {
+  assert(mask != 0);
+  const std::uint64_t at_or_after = mask & ~((std::uint64_t{1} << start) - 1);
+  return static_cast<std::size_t>(
+      std::countr_zero(at_or_after != 0 ? at_or_after : mask));
+}
+
+}  // namespace
 
 double InputPort::vc_occupancy() const noexcept {
   if (vcs.empty() || !connected) return 0.0;
@@ -30,6 +47,16 @@ std::optional<std::int32_t> OutputPort::find_free_vc() const noexcept {
 }
 
 Router::Router(NodeId id, const MeshShape& mesh, const RouterConfig& cfg) : id_(id), cfg_(cfg) {
+  if (cfg.vc_depth < 1 || cfg.vc_depth > FlitRing::kCapacity) {
+    throw std::invalid_argument("RouterConfig::vc_depth must be in [1, " +
+                                std::to_string(FlitRing::kCapacity) + "], got " +
+                                std::to_string(cfg.vc_depth));
+  }
+  if (cfg.vcs_per_port < 1 || cfg.vcs_per_port > kMaxVcsPerPort) {
+    throw std::invalid_argument("RouterConfig::vcs_per_port must be in [1, " +
+                                std::to_string(kMaxVcsPerPort) + "], got " +
+                                std::to_string(cfg.vcs_per_port));
+  }
   const Coord here = mesh.coord_of(id);
   for (std::size_t p = 0; p < kNumPorts; ++p) {
     const auto dir = static_cast<Direction>(p);
@@ -50,10 +77,21 @@ void Router::accept_flit(Direction d, std::int32_t vc, const Flit& flit, Cycle n
   auto& port = input(d);
   assert(port.connected);
   auto& channel = port.vcs[static_cast<std::size_t>(vc)];
-  assert(static_cast<std::int32_t>(channel.buffer.size()) < cfg_.vc_depth);
+  assert(channel.buffer.size() < cfg_.vc_depth);
   if (!channel.occupied()) {
     port.occ_touch(now);
     ++port.occupied_vcs;
+  }
+  if (channel.buffer.empty()) {
+    const std::uint64_t bit = std::uint64_t{1}
+                              << slot_of(static_cast<std::size_t>(d),
+                                         static_cast<std::size_t>(vc));
+    nonempty_slots_ |= bit;
+    if (channel.state == VirtualChannel::State::Active) {
+      // Body/tail flits of a wormhole packet whose earlier flits already
+      // left: the VC becomes switch-eligible again.
+      routed_to_[static_cast<std::size_t>(channel.out_dir)] |= bit;
+    }
   }
   channel.buffer.push_back(flit);
   ++port.telemetry.buffer_writes;
@@ -71,29 +109,29 @@ void Router::allocate_vcs(const MeshShape& mesh) {
   // at the front of its FIFO. The scan starts from a rotating (port, vc)
   // offset so that competing inputs share scarce downstream VCs fairly
   // (without this, the lowest-numbered port wins the freed VC every cycle
-  // and everyone else starves at the VA stage).
+  // and everyone else starves at the VA stage). Only Idle+non-empty slots
+  // can act, so the rotated sweep iterates the set bits of that mask in
+  // the same order the full slot scan would visit them.
   const auto vcs = static_cast<std::size_t>(cfg_.vcs_per_port);
   const std::size_t slots = kNumPorts * vcs;
   va_round_robin_ = (va_round_robin_ + 1) % slots;
-  for (std::size_t offset = 0; offset < slots; ++offset) {
-    const std::size_t slot = (va_round_robin_ + offset) % slots;
-    auto& port = inputs_[slot / vcs];
-    if (!port.connected) continue;
-    auto& vc = port.vcs[slot % vcs];
-    {
-      if (vc.state != VirtualChannel::State::Idle || vc.buffer.empty()) continue;
-      const Flit& head = vc.buffer.front();
-      assert(is_head(head.type));
-      const Direction out_dir = xy_route_step(mesh, id_, head.dst);
-      auto& out = outputs_[static_cast<std::size_t>(out_dir)];
-      if (out_dir == Direction::Local) {
-        // Ejection needs no downstream VC ownership: the NI drains flits
-        // the same cycle they win switch allocation.
-        vc.state = VirtualChannel::State::Active;
-        vc.out_dir = out_dir;
-        vc.out_vc = 0;
-        continue;
-      }
+  std::uint64_t candidates = nonempty_slots_ & ~active_slots_;
+  while (candidates != 0) {
+    const std::size_t slot = rotated_first_bit(candidates, va_round_robin_);
+    const std::uint64_t bit = std::uint64_t{1} << slot;
+    candidates &= ~bit;
+    auto& vc = inputs_[slot / vcs].vcs[slot % vcs];
+    const Flit& head = vc.buffer.front();
+    assert(is_head(head.type));
+    const Direction out_dir = xy_route_step(mesh, id_, head.dst);
+    auto& out = outputs_[static_cast<std::size_t>(out_dir)];
+    if (out_dir == Direction::Local) {
+      // Ejection needs no downstream VC ownership: the NI drains flits
+      // the same cycle they win switch allocation.
+      vc.state = VirtualChannel::State::Active;
+      vc.out_dir = out_dir;
+      vc.out_vc = 0;
+    } else {
       const auto free_vc = out.find_free_vc();
       if (!free_vc) continue;  // stall in VA; retry next cycle
       out.vc_in_use[static_cast<std::size_t>(*free_vc)] = true;
@@ -101,6 +139,8 @@ void Router::allocate_vcs(const MeshShape& mesh) {
       vc.out_dir = out_dir;
       vc.out_vc = *free_vc;
     }
+    active_slots_ |= bit;
+    routed_to_[static_cast<std::size_t>(out_dir)] |= bit;
   }
 }
 
@@ -117,27 +157,29 @@ void Router::step(const MeshShape& mesh, std::vector<LinkTransfer>& transfers,
   // Switch allocation: pick one winning input VC per output port, scanning
   // input (port, vc) pairs from a rotating round-robin start so no input
   // starves. An input port may also send at most one flit per cycle.
+  // routed_to_[out] is exactly the set of eligible slots (Active, routed
+  // to this output, flit buffered), so the rotated sweep walks its set
+  // bits — skipping busy input ports wholesale — in the same order the
+  // full slot scan would.
   const auto vcs = static_cast<std::size_t>(cfg_.vcs_per_port);
   const std::size_t slots = kNumPorts * vcs;
-  std::array<bool, kNumPorts> input_busy{};
+  std::uint64_t busy_input_slots = 0;  ///< every slot of inputs that already sent
 
   for (std::size_t out_p = 0; out_p < kNumPorts; ++out_p) {
     const auto out_dir = static_cast<Direction>(out_p);
     auto& out = outputs_[out_p];
-    if (out_dir != Direction::Local && !out.connected) continue;
+    std::uint64_t candidates = routed_to_[out_p] & ~busy_input_slots;
 
-    for (std::size_t offset = 0; offset < slots; ++offset) {
-      const std::size_t slot = (sa_round_robin_[out_p] + offset) % slots;
+    while (candidates != 0) {
+      const std::size_t slot = rotated_first_bit(candidates, sa_round_robin_[out_p]);
+      const std::uint64_t bit = std::uint64_t{1} << slot;
+      candidates &= ~bit;
       const std::size_t in_p = slot / vcs;
       const std::size_t in_v = slot % vcs;
-      if (input_busy[in_p]) continue;
       auto& port = inputs_[in_p];
-      if (!port.connected) continue;
       auto& vc = port.vcs[in_v];
-      if (vc.state != VirtualChannel::State::Active || vc.out_dir != out_dir ||
-          vc.buffer.empty()) {
-        continue;
-      }
+      assert(vc.state == VirtualChannel::State::Active && vc.out_dir == out_dir &&
+             !vc.buffer.empty());
       if (out_dir != Direction::Local &&
           out.credits[static_cast<std::size_t>(vc.out_vc)] <= 0) {
         continue;  // no downstream space
@@ -148,7 +190,7 @@ void Router::step(const MeshShape& mesh, std::vector<LinkTransfer>& transfers,
       vc.buffer.pop_front();
       ++port.telemetry.buffer_reads;
       --buffered_;
-      input_busy[in_p] = true;
+      busy_input_slots |= port_slots(in_p);
       sa_round_robin_[out_p] = (slot + 1) % slots;
 
       const auto in_dir = static_cast<Direction>(in_p);
@@ -168,6 +210,12 @@ void Router::step(const MeshShape& mesh, std::vector<LinkTransfer>& transfers,
       if (is_tail(flit.type)) {
         vc.state = VirtualChannel::State::Idle;
         vc.out_vc = -1;
+        active_slots_ &= ~bit;
+        routed_to_[out_p] &= ~bit;
+      }
+      if (vc.buffer.empty()) {
+        nonempty_slots_ &= ~bit;
+        routed_to_[out_p] &= ~bit;
       }
       if (!vc.occupied()) {
         port.occ_touch(now);

@@ -22,7 +22,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -32,15 +31,19 @@
 namespace dl2f::noc {
 
 struct RouterConfig {
-  std::int32_t vcs_per_port = 4;
-  std::int32_t vc_depth = 4;  ///< flit slots per virtual channel
+  std::int32_t vcs_per_port = 4;  ///< at most kMaxVcsPerPort (slot bitmasks are 64-bit)
+  std::int32_t vc_depth = 4;      ///< flit slots per VC; at most FlitRing::kCapacity
 };
 
-/// One virtual channel: flit FIFO plus wormhole allocation state.
+/// Upper bound on vcs_per_port: every (input port, VC) pair is one bit in
+/// the router's 64-bit occupancy masks, so kNumPorts * vcs_per_port <= 64.
+inline constexpr std::int32_t kMaxVcsPerPort = 12;
+
+/// One virtual channel: inline flit FIFO plus wormhole allocation state.
 struct VirtualChannel {
   enum class State : std::uint8_t { Idle, Active };
 
-  std::deque<Flit> buffer;
+  FlitRing buffer;
   State state = State::Idle;
   Direction out_dir = Direction::Local;  ///< valid when Active
   std::int32_t out_vc = -1;              ///< downstream VC id, valid when Active
@@ -123,6 +126,9 @@ struct CreditReturn {
 
 class Router {
  public:
+  /// Throws std::invalid_argument when `cfg` is out of range (vc_depth
+  /// must fit the inline ring: 1 <= vc_depth <= FlitRing::kCapacity,
+  /// vcs_per_port >= 1).
   Router(NodeId id, const MeshShape& mesh, const RouterConfig& cfg);
 
   [[nodiscard]] NodeId id() const noexcept { return id_; }
@@ -161,6 +167,16 @@ class Router {
  private:
   void allocate_vcs(const MeshShape& mesh);
 
+  /// Slot index of (input port, vc) in the occupancy bitmasks below.
+  [[nodiscard]] std::size_t slot_of(std::size_t port, std::size_t vc) const noexcept {
+    return port * static_cast<std::size_t>(cfg_.vcs_per_port) + vc;
+  }
+  /// Mask covering every VC slot of one input port.
+  [[nodiscard]] std::uint64_t port_slots(std::size_t port) const noexcept {
+    const auto vcs = static_cast<std::size_t>(cfg_.vcs_per_port);
+    return ((std::uint64_t{1} << vcs) - 1) << (port * vcs);
+  }
+
   NodeId id_;
   RouterConfig cfg_;
   std::array<InputPort, kNumPorts> inputs_;
@@ -168,6 +184,19 @@ class Router {
   std::array<std::size_t, kNumPorts> sa_round_robin_{};  ///< per-output priority pointer
   std::size_t va_round_robin_ = 0;  ///< rotating start for VC allocation fairness
   std::int64_t buffered_ = 0;       ///< flits currently buffered (idle fast-path)
+
+  // Hot-path occupancy bitmasks, one bit per (input port, VC) slot. The
+  // VA/SA stages iterate set bits in rotated round-robin order instead of
+  // sweeping every slot — visiting an empty ~800-byte VirtualChannel
+  // costs a cache miss, and most slots are empty under realistic loads.
+  // Invariants (maintained at every flit push/pop and state transition):
+  //   nonempty_slots_  bit set  <=>  that VC's ring holds >= 1 flit
+  //   active_slots_    bit set  <=>  that VC's state == Active
+  //   routed_to_[d]    bit set  <=>  Active, out_dir == d AND non-empty
+  //                                  (exactly the SA eligibility test)
+  std::uint64_t nonempty_slots_ = 0;
+  std::uint64_t active_slots_ = 0;
+  std::array<std::uint64_t, kNumPorts> routed_to_{};
 };
 
 }  // namespace dl2f::noc

@@ -15,7 +15,8 @@ DefenseRuntime::DefenseRuntime(traffic::Simulation& sim, const core::PipelineEng
   // Window 0 starts here: clear the feature counters and snapshot the
   // benign-latency accumulators so the first window's deltas are its own.
   sim_.mesh().reset_telemetry();
-  const auto& bs = sim_.mesh().benign_stats();
+  auto& bs = sim_.mesh().benign_stats();
+  bs.reset_window_max();
   prev_benign_sum_ = bs.packet_latency_sum();
   prev_benign_count_ = bs.packets_ejected();
   prev_hist_ = bs.packet_latency_histogram();
@@ -48,9 +49,11 @@ WindowRecord DefenseRuntime::run_window() {
   rec.end = mesh.now();
 
   // Sample the window exactly as the training datasets do (VCO averaged
-  // since the last reset, BOC accumulated then reset for the next window).
+  // since the last reset, BOC accumulated since the last reset; each
+  // feature restarts its own window after the read, so the order here is
+  // immaterial).
   monitor::FrameSample sample;
-  sample.vco = sampler_.sample_vco(mesh);
+  sample.vco = sampler_.sample_vco(mesh, /*reset=*/true);
   sample.boc = sampler_.sample_boc(mesh, /*reset=*/true);
   const core::RoundResult round = session_.process(sample);
   rec.detected = round.detected;
@@ -58,7 +61,7 @@ WindowRecord DefenseRuntime::run_window() {
   rec.tlm_attackers = round.tlm.attackers;
 
   // Windowed benign latency: deltas of the cumulative accumulators.
-  const auto& bs = mesh.benign_stats();
+  auto& bs = mesh.benign_stats();
   const double sum = bs.packet_latency_sum();
   const std::int64_t count = bs.packets_ejected();
   rec.benign_packets = count - prev_benign_count_;
@@ -68,8 +71,14 @@ WindowRecord DefenseRuntime::run_window() {
   const auto& hist = bs.packet_latency_histogram();
   std::vector<std::int64_t> window_hist(hist.size());
   for (std::size_t i = 0; i < hist.size(); ++i) window_hist[i] = hist[i] - prev_hist_[i];
-  rec.benign_p50 = noc::histogram_percentile(window_hist, 0.50);
-  rec.benign_p99 = noc::histogram_percentile(window_hist, 0.99);
+  // A congested window can push its tail past the histogram range; when a
+  // percentile lands in the overflow bucket, report THIS window's true
+  // observed maximum (tracked exactly, reset every window boundary)
+  // rather than the bucket clamp or a stale run-wide extreme.
+  const auto overflow = static_cast<double>(bs.window_max_packet_latency());
+  rec.benign_p50 = noc::histogram_percentile(window_hist, 0.50, overflow);
+  rec.benign_p99 = noc::histogram_percentile(window_hist, 0.99, overflow);
+  bs.reset_window_max();
   prev_benign_sum_ = sum;
   prev_benign_count_ = count;
   prev_hist_ = hist;

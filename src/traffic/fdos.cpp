@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace dl2f::traffic {
 
@@ -65,7 +67,23 @@ std::vector<AttackScenario> make_scenarios(const MeshShape& mesh, std::int32_t c
   scenarios.reserve(static_cast<std::size_t>(count));
   const auto n = mesh.node_count();
 
+  // A mesh can be structurally unable to host a scenario (e.g. too small
+  // for the 2-hop attacker constraint, or more attackers than eligible
+  // nodes); without a bound the retry loop below would spin forever.
+  // Consecutive whole-scenario failures — not total attempts — are
+  // counted, so a streak of bad luck on a feasible mesh resets on every
+  // success while an infeasible mesh fails fast and loudly.
+  constexpr std::int32_t kMaxConsecutiveFailures = 128;
+  std::int32_t consecutive_failures = 0;
+
   while (static_cast<std::int32_t>(scenarios.size()) < count) {
+    if (consecutive_failures >= kMaxConsecutiveFailures) {
+      throw std::invalid_argument(
+          "make_scenarios: no valid placement of " + std::to_string(num_attackers) +
+          " attacker(s) >= 2 hops from a victim on a " + std::to_string(mesh.rows()) + "x" +
+          std::to_string(mesh.cols()) + " mesh after " + std::to_string(kMaxConsecutiveFailures) +
+          " consecutive attempts");
+    }
     AttackScenario s;
     s.fir = fir;
     s.victim = static_cast<NodeId>(rng.uniform_int(0, n - 1));
@@ -88,7 +106,12 @@ std::vector<AttackScenario> make_scenarios(const MeshShape& mesh, std::int32_t c
         break;
       }
     }
-    if (ok) scenarios.push_back(std::move(s));
+    if (ok) {
+      scenarios.push_back(std::move(s));
+      consecutive_failures = 0;
+    } else {
+      ++consecutive_failures;
+    }
   }
   return scenarios;
 }

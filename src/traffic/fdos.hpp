@@ -63,6 +63,10 @@ class FloodingAttack final : public TrafficGenerator {
 /// Deterministically generate `count` distinct attack scenarios on `mesh`
 /// with `num_attackers` attackers each (the paper simulates 18 scenarios
 /// per benchmark at FIR 0.8: a mix of 1- and 2-attacker cases).
+/// Throws std::invalid_argument when the mesh cannot host such a scenario
+/// at all (attackers must sit >= 2 hops from the victim, so e.g. a 1x2
+/// mesh — or asking for more attackers than eligible nodes — fails fast
+/// instead of retrying forever).
 [[nodiscard]] std::vector<AttackScenario> make_scenarios(const MeshShape& mesh,
                                                          std::int32_t count,
                                                          std::int32_t num_attackers, double fir,

@@ -35,10 +35,15 @@ class Simulation {
     for (auto& g : generators_) g->tick(mesh_);
     mesh_.step();
   }
+  /// Advance `cycles` cycles. Mesh stepping is allocation-free in steady
+  /// state and skips idle routers/NIs entirely (noc/mesh.hpp invariants),
+  /// so long campaign windows cost only the active-traffic footprint.
   void run(std::int64_t cycles) {
     for (std::int64_t i = 0; i < cycles; ++i) step();
   }
-  /// Step without injecting (lets the network drain).
+  /// Step without injecting (lets the network drain). The drained() probe
+  /// per cycle is cheap: it sums buffered flits over the active-router
+  /// worklist, not the whole mesh.
   void run_drain(std::int64_t max_cycles) {
     for (std::int64_t i = 0; i < max_cycles && !mesh_.drained(); ++i) mesh_.step();
   }

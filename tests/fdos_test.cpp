@@ -156,6 +156,28 @@ TEST(MakeScenarios, RespectsCountAndAttackerNumber) {
   }
 }
 
+TEST(MakeScenarios, ThrowsOnMeshesWithNoValidPlacement) {
+  // A 1x2 mesh has a maximum hop distance of 1, so the ">= 2 hops from
+  // the victim" constraint can never be met; the generator must fail
+  // loudly instead of spinning forever.
+  EXPECT_THROW(make_scenarios(MeshShape(1, 2), 1, 1, 0.8, 7), std::invalid_argument);
+  // A 2x2 mesh has exactly one node 2 hops from any victim, so two
+  // distinct attackers can never be placed.
+  EXPECT_THROW(make_scenarios(MeshShape::square(2), 1, 2, 0.8, 7), std::invalid_argument);
+}
+
+TEST(MakeScenarios, DegenerateMeshStillServesFeasibleRequests) {
+  // count == 0 asks for nothing and must not probe placements at all.
+  EXPECT_TRUE(make_scenarios(MeshShape(1, 2), 0, 1, 0.8, 7).empty());
+  // One attacker on a 2x2 mesh is feasible (the diagonal), even though
+  // two are not.
+  const auto scenarios = make_scenarios(MeshShape::square(2), 4, 1, 0.8, 7);
+  ASSERT_EQ(scenarios.size(), 4U);
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(MeshShape::square(2).hop_distance(s.attackers[0], s.victim), 2);
+  }
+}
+
 TEST(MakeScenarios, DeterministicForSeed) {
   const auto mesh = MeshShape::square(8);
   const auto a = make_scenarios(mesh, 5, 1, 0.8, 7);

@@ -215,5 +215,73 @@ TEST(LatencyHistogram, PercentileOfEmptyHistogramIsZero) {
   EXPECT_DOUBLE_EQ(histogram_percentile(std::vector<std::int64_t>(16, 0), 0.5), 0.0);
 }
 
+TEST(LatencyHistogram, NearestRankIsExact) {
+  // 20 samples with values 1..20 (one per bucket): the q-th percentile is
+  // the ceil(20q)-th smallest. The old floor-based rank under-reported the
+  // tail: p99 of 20 samples must be the maximum, not the 19th value.
+  std::vector<std::int64_t> hist(32, 0);
+  for (std::int64_t v = 1; v <= 20; ++v) hist[static_cast<std::size_t>(v)] = 1;
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.05), 1.0);   // rank ceil(1) = 1
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.5), 10.0);   // rank 10
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.75), 15.0);  // rank 15
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.99), 20.0);  // rank 20: the max
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 1.0), 20.0);
+}
+
+TEST(LatencyHistogram, OverflowBucketReportsSentinelNotClamp) {
+  // All mass below the overflow bucket: percentiles are ordinary values.
+  std::vector<std::int64_t> hist(16, 0);
+  hist[3] = 10;
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.99), 3.0);
+
+  // Mass straddling the clamp: the tail lands in the open-ended final
+  // bucket, whose index is NOT a latency. Default: the -1 sentinel;
+  // with a caller-provided true maximum: that maximum.
+  hist[15] = 5;  // overflow bucket (real values were >= 15, unknown here)
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.99), -1.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(hist, 0.99, /*overflow=*/412.0), 412.0);
+}
+
+TEST(LatencyHistogram, StatsReportTrueMaxBeyondBucketRange) {
+  // Packets whose latency saturates the 2048-bucket histogram must report
+  // the exact observed maximum from the tail percentiles, not the clamp.
+  LatencyStats stats;
+  Flit tail;
+  tail.type = FlitType::HeadTail;
+  for (int i = 0; i < 10; ++i) {
+    tail.created = 0;
+    tail.injected = 0;
+    stats.on_packet_ejected(tail, /*now=*/100);  // latency 100
+  }
+  tail.created = 0;
+  stats.on_packet_ejected(tail, /*now=*/5000);  // latency 5000: clamps
+  EXPECT_EQ(stats.max_packet_latency(), 5000);
+  EXPECT_DOUBLE_EQ(stats.packet_latency_percentile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(stats.packet_latency_percentile(0.99), 5000.0);
+
+  stats.reset();
+  EXPECT_EQ(stats.max_packet_latency(), 0);
+}
+
+TEST(LatencyHistogram, WindowMaxResetsIndependentlyOfRunMax) {
+  // Windowed (delta-histogram) percentiles need the max of *this* window:
+  // a run-cumulative extreme from an earlier window must not leak into a
+  // later window's overflow substitute.
+  LatencyStats stats;
+  Flit tail;
+  tail.type = FlitType::HeadTail;
+  tail.created = 0;
+  tail.injected = 0;
+  stats.on_packet_ejected(tail, /*now=*/80000);  // early spike
+  EXPECT_EQ(stats.window_max_packet_latency(), 80000);
+  stats.reset_window_max();
+
+  stats.on_packet_ejected(tail, /*now=*/2100);  // later, milder window
+  EXPECT_EQ(stats.window_max_packet_latency(), 2100);
+  EXPECT_EQ(stats.max_packet_latency(), 80000);  // run max unaffected
+}
+
 }  // namespace
 }  // namespace dl2f::noc

@@ -98,6 +98,56 @@ TEST(Sampler, VcoReflectsCongestionUnderFlood) {
   EXPECT_GT(total, 0.5F);  // sustained flooding keeps VCs occupied
 }
 
+TEST(Sampler, VcoIsIndependentOfBocSamplingOrder) {
+  // Regression for the BOC/VCO sampling-order hazard: sample_boc(reset)
+  // used to reset the occupancy-averaging windows too, so sampling BOC
+  // before VCO collapsed the VCO average to its instantaneous fallback.
+  // Drive two identical meshes deterministically and sample the two
+  // features in opposite orders: both feature frames must match exactly,
+  // in the first window and in later windows.
+  const auto drive = [](noc::Mesh& mesh, int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < 6; ++i) {
+        mesh.inject(0, 15);
+        mesh.inject(3, 12);
+      }
+      mesh.run(40);
+    }
+  };
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(4);
+  noc::Mesh vco_first(cfg);
+  noc::Mesh boc_first(cfg);
+  const FeatureSampler sampler(cfg.shape);
+
+  const auto expect_same_frames = [](const DirectionalFrames& a, const DirectionalFrames& b) {
+    for (Direction d : kMeshDirections) {
+      const Frame& fa = frame_of(a, d);
+      const Frame& fb = frame_of(b, d);
+      for (std::int32_t r = 0; r < fa.rows(); ++r) {
+        for (std::int32_t c = 0; c < fa.cols(); ++c) {
+          ASSERT_EQ(fa.at(r, c), fb.at(r, c)) << to_string(d) << " @(" << r << "," << c << ")";
+        }
+      }
+    }
+  };
+
+  for (int window = 0; window < 3; ++window) {
+    drive(vco_first, 3);
+    drive(boc_first, 3);
+    const auto vco_a = sampler.sample_vco(vco_first, /*reset=*/true);
+    const auto boc_a = sampler.sample_boc(vco_first, /*reset=*/true);
+    const auto boc_b = sampler.sample_boc(boc_first, /*reset=*/true);
+    const auto vco_b = sampler.sample_vco(boc_first, /*reset=*/true);
+    expect_same_frames(vco_a, vco_b);
+    expect_same_frames(boc_a, boc_b);
+    // The windows are genuinely informative, not degenerate zeros.
+    float vco_total = 0.0F;
+    for (Direction d : kMeshDirections) vco_total += frame_of(vco_a, d).sum();
+    EXPECT_GT(vco_total, 0.0F) << "window " << window;
+  }
+}
+
 TEST(Sampler, VcoValuesWithinUnitInterval) {
   noc::MeshConfig cfg;
   cfg.shape = MeshShape::square(8);
