@@ -1,0 +1,133 @@
+// Adaptive-attacker robustness matrix: evasive FDoS families × the full
+// benign-workload grid (6 synthetic patterns + 3 PARSEC workloads).
+//
+// Trains one model snapshot, then sweeps a three-axis campaign
+// (family × workload × seed) — the static family rides along as the
+// non-adaptive control — and aggregates it into a RobustnessReport:
+// detection accuracy/F1, localization F1, time-to-mitigate and recovery
+// per (family × workload) cell. The evasive families are the first
+// workload where the detector is *expected* to partially fail; the
+// report's blind-spot list is the artifact that shows where.
+//
+// The campaign is re-run at 1/2/4 worker threads and the process exits
+// non-zero if any width diverges from the 1-thread byte dump (the
+// determinism contract now spans the three-axis grid).
+//
+// Output: human-readable matrix + per-cell table on stdout, plus
+// machine-readable BENCH_robustness.json. Pass --quick for the CI preset;
+// DL2F_BENCH_SCALE=paper widens the seed axis.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "runtime/robustness.hpp"
+
+using namespace dl2f;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+  const char* scale = std::getenv("DL2F_BENCH_SCALE");
+  const bool paper = scale != nullptr && std::string_view(scale) == "paper";
+
+  const MeshShape mesh = MeshShape::square(8);
+  const std::vector<monitor::Benchmark> workloads = monitor::all_benchmarks();
+
+  // One snapshot for the whole matrix, trained across a workload mix so
+  // the model has seen synthetic and PARSEC-like statistics (training on
+  // one pattern and scoring on nine would measure transfer, not
+  // robustness).
+  std::cout << "Training the shared model snapshot...\n";
+  runtime::TrainPreset preset;
+  if (quick) {
+    preset.scenarios = 4;
+    preset.detector_epochs = 20;
+    preset.localizer_epochs = 10;
+  }
+  const std::vector<monitor::Benchmark> train_mix{
+      monitor::Benchmark{traffic::SyntheticPattern::UniformRandom},
+      monitor::Benchmark{traffic::SyntheticPattern::Tornado},
+      monitor::Benchmark{traffic::ParsecWorkload::Blackscholes}};
+  const runtime::ModelSnapshot model = runtime::train_model_snapshot(mesh, train_mix, preset);
+
+  runtime::CampaignConfig cfg;
+  cfg.families = {"static"};  // non-adaptive control row
+  for (const auto& f : runtime::evasive_scenario_families()) cfg.families.push_back(f);
+  cfg.workloads = workloads;
+  cfg.seeds = paper   ? std::vector<std::uint64_t>{1, 2, 3, 4}
+              : quick ? std::vector<std::uint64_t>{1}
+                      : std::vector<std::uint64_t>{1, 2};
+  cfg.windows = quick ? 6 : 12;
+  cfg.params.mesh = mesh;
+  cfg.params.attack_start = 3 * cfg.defense.window_cycles;
+
+  std::vector<std::string> workload_names;
+  for (const auto& w : workloads) workload_names.push_back(w.name());
+
+  const auto job_count = cfg.families.size() * cfg.workloads.size() * cfg.seeds.size();
+  std::cout << "Robustness grid: " << cfg.families.size() << " families x "
+            << cfg.workloads.size() << " workloads x " << cfg.seeds.size() << " seeds = "
+            << job_count << " jobs, " << cfg.windows << " windows each\n\n";
+
+  std::string reference;
+  runtime::CampaignResult last;
+  double wall_1t = 0.0;
+  for (const std::int32_t threads : {1, 2, 4}) {
+    cfg.threads = threads;
+    const auto begin = std::chrono::steady_clock::now();
+    runtime::CampaignResult result = run_campaign(cfg, model);
+    const auto end = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(end - begin).count();
+    if (threads == 1) wall_1t = secs;
+
+    const std::string dump = result.serialize();
+    if (reference.empty()) {
+      reference = dump;
+    } else if (dump != reference) {
+      std::cout << "FAIL: three-axis campaign with " << threads
+                << " threads diverged from the 1-thread run\n";
+      return 1;
+    }
+    std::cout << threads << " thread(s): " << secs << " s (byte-identical: yes)\n";
+    last = std::move(result);
+  }
+
+  const auto report =
+      runtime::RobustnessReport::from_campaign(last, cfg.families, workload_names);
+
+  std::cout << "\nDetection F1, family x workload (the blind-spot matrix):\n"
+            << report.detection_matrix() << '\n'
+            << "Per-cell robustness:\n"
+            << report.table() << '\n';
+
+  const auto blind = report.blind_spots(0.5);
+  std::cout << blind.size() << " blind spot(s) (detection F1 < 0.5):\n";
+  for (const auto* c : blind) {
+    std::cout << "  " << c->family << " on " << c->workload << " (F1 "
+              << TextTable::cell(c->detection_f1, 2) << ")\n";
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"robustness\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"mesh\": " << mesh.rows() << ",\n"
+       << "  \"seeds\": " << cfg.seeds.size() << ",\n"
+       << "  \"windows\": " << cfg.windows << ",\n"
+       << "  \"jobs\": " << job_count << ",\n"
+       << "  \"wall_seconds_1_thread\": " << wall_1t << ",\n"
+       << "  \"blind_spots\": " << blind.size() << ",\n"
+       << "  \"report\": " << report.to_json() << "\n"
+       << "}\n";
+
+  std::ofstream out("BENCH_robustness.json");
+  out << json.str();
+  std::cout << "\nwrote BENCH_robustness.json (" << report.cells().size() << " cells, "
+            << blind.size() << " blind spots)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Minimal tour of the adversarial robustness subsystem: train a small
+// model, sweep evasive attack families across a few benign workloads on
+// the three-axis campaign grid, and read the resulting matrix.
+//
+// The full nine-workload matrix (and the CI artifact) comes from
+// bench/bench_robustness.cpp; this example keeps the grid small enough to
+// finish in a few seconds.
+#include <iostream>
+
+#include "runtime/robustness.hpp"
+
+using namespace dl2f;
+
+int main() {
+  const MeshShape mesh = MeshShape::square(8);
+
+  std::cout << "Training a small detector/localizer snapshot...\n";
+  runtime::TrainPreset preset;
+  preset.scenarios = 4;
+  preset.detector_epochs = 20;
+  preset.localizer_epochs = 10;
+  const runtime::ModelSnapshot model = runtime::train_model_snapshot(
+      mesh, monitor::Benchmark{traffic::SyntheticPattern::UniformRandom}, preset);
+
+  // Three-axis grid: evasive families x a benign-workload slice x seeds.
+  runtime::CampaignConfig cfg;
+  cfg.families = {"static", "pulse", "colluding", "mimicry"};
+  cfg.workloads = {monitor::Benchmark{traffic::SyntheticPattern::UniformRandom},
+                   monitor::Benchmark{traffic::SyntheticPattern::Tornado},
+                   monitor::Benchmark{traffic::ParsecWorkload::Blackscholes}};
+  cfg.seeds = {1, 2};
+  cfg.windows = 8;
+  cfg.threads = 4;
+  cfg.params.mesh = mesh;
+  cfg.params.attack_start = 3 * cfg.defense.window_cycles;
+
+  std::cout << "Running " << cfg.families.size() << " families x " << cfg.workloads.size()
+            << " workloads x " << cfg.seeds.size() << " seeds...\n\n";
+  const runtime::CampaignResult result = run_campaign(cfg, model);
+
+  std::vector<std::string> workload_names;
+  for (const auto& w : cfg.workloads) workload_names.push_back(w.name());
+  const auto report =
+      runtime::RobustnessReport::from_campaign(result, cfg.families, workload_names);
+
+  std::cout << "Detection F1 by family x workload:\n" << report.detection_matrix() << '\n';
+  std::cout << "Per-cell metrics:\n" << report.table() << '\n';
+
+  const auto blind = report.blind_spots(0.5);
+  std::cout << "Blind spots (detection F1 < 0.5): " << blind.size() << '\n';
+  for (const auto* c : blind) {
+    std::cout << "  " << c->family << " on " << c->workload << '\n';
+  }
+
+  // Shape sanity: every (family, workload) cell exists and saw its jobs.
+  for (const auto& f : cfg.families) {
+    for (const auto& w : workload_names) {
+      const auto* c = report.cell(f, w);
+      if (c == nullptr || c->jobs != static_cast<std::int64_t>(cfg.seeds.size())) {
+        std::cout << "FAIL: missing or under-filled cell " << f << " x " << w << '\n';
+        return 1;
+      }
+    }
+  }
+  std::cout << "PASS\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares the quick-mode bench artifacts in the working directory
+(BENCH_sim.json, BENCH_inference.json, ...) against the committed
+reference floors in BENCH_baseline.json and exits non-zero when any
+tracked metric drops below threshold_ratio * reference.
+
+Usage:
+    python3 scripts/check_bench_regression.py [BENCH_baseline.json]
+
+Baseline format:
+    {
+      "threshold_ratio": 0.75,
+      "benches": {
+        "<bench artifact>.json": {"dotted.metric.path": <reference>, ...}
+      }
+    }
+
+Metric paths are dot-separated keys into the bench JSON ("batch_wps.32"
+reads obj["batch_wps"]["32"]). All tracked metrics are
+higher-is-better throughputs.
+"""
+import json
+import sys
+
+
+def resolve(obj, dotted_path):
+    """Walk a dot-separated key path into nested dicts."""
+    cur = obj
+    for key in dotted_path.split("."):
+        if not isinstance(cur, dict) or key not in cur:
+            return None
+        cur = cur[key]
+    return cur
+
+
+def main():
+    baseline_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_baseline.json"
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    threshold = float(baseline.get("threshold_ratio", 0.75))
+    failures = []
+    rows = []
+
+    for bench_file, metrics in baseline["benches"].items():
+        try:
+            with open(bench_file) as f:
+                current = json.load(f)
+        except FileNotFoundError:
+            failures.append(f"{bench_file}: artifact missing (bench did not run?)")
+            continue
+        for path, reference in metrics.items():
+            value = resolve(current, path)
+            if not isinstance(value, (int, float)):
+                failures.append(f"{bench_file}:{path}: metric missing from artifact")
+                continue
+            floor = threshold * float(reference)
+            ok = value >= floor
+            rows.append((bench_file, path, float(reference), floor, float(value), ok))
+            if not ok:
+                failures.append(
+                    f"{bench_file}:{path}: {value:.1f} < floor {floor:.1f} "
+                    f"({threshold:.0%} of reference {reference:.1f})"
+                )
+
+    name_w = max((len(f"{b}:{p}") for b, p, *_ in rows), default=20)
+    print(f"bench-regression gate (floor = {threshold:.0%} of reference)")
+    for bench_file, path, reference, floor, value, ok in rows:
+        name = f"{bench_file}:{path}"
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"  {name:<{name_w}}  ref {reference:>12.1f}  floor {floor:>12.1f}  "
+              f"got {value:>12.1f}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} bench regression(s):", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print(f"\nPASS: {len(rows)} metric(s) at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,17 @@
 
 namespace dl2f {
 
+/// splitmix64 finalizer — derives decorrelated sub-seeds from one seed
+/// (scenario legs, campaign grid coordinates). Determinism contracts
+/// (byte-identical campaigns) depend on every caller sharing this exact
+/// bit-mixing, so it lives here rather than per-translation-unit.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Thin wrapper over a 64-bit Mersenne Twister with convenience draws.
 class Rng {
  public:

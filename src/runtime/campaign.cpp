@@ -27,13 +27,21 @@ std::uint64_t fnv1a(std::string_view s) {
 }
 
 JobResult run_job(const CampaignConfig& cfg, const core::PipelineEngine& engine,
-                  const std::string& family, std::uint64_t seed) {
+                  const std::string& family, const monitor::Benchmark& workload,
+                  std::uint64_t seed) {
   JobResult result;
   result.family = family;
+  result.workload = workload.name();
   result.seed = seed;
 
-  const std::uint64_t job_seed = seed ^ fnv1a(family);
-  auto scenario = ScenarioRegistry::instance().make(family, cfg.params, job_seed);
+  // Each job's randomness is a pure function of its grid coordinates —
+  // never of worker id or execution order — so any thread count replays
+  // the identical campaign. The workload hash goes through mix64 so the
+  // two string hashes cannot cancel each other under the XOR.
+  const std::uint64_t job_seed = seed ^ fnv1a(family) ^ mix64(fnv1a(result.workload));
+  ScenarioParams params = cfg.params;
+  params.benign = workload;
+  auto scenario = ScenarioRegistry::instance().make(family, params, job_seed);
   if (scenario == nullptr) {
     // A registered factory may still return nullptr for params it cannot
     // serve; surface that as a diagnosable error, not a worker crash.
@@ -89,13 +97,19 @@ core::Dl2Fence ModelSnapshot::restore() const {
 
 ModelSnapshot train_model_snapshot(const MeshShape& mesh, const monitor::Benchmark& benign,
                                    const TrainPreset& preset) {
+  return train_model_snapshot(mesh, std::vector<monitor::Benchmark>{benign}, preset);
+}
+
+ModelSnapshot train_model_snapshot(const MeshShape& mesh,
+                                   const std::vector<monitor::Benchmark>& benigns,
+                                   const TrainPreset& preset) {
   monitor::DatasetConfig data_cfg;
   data_cfg.mesh = mesh;
   data_cfg.scenarios_per_benchmark = preset.scenarios;
   data_cfg.benign_samples_per_run = preset.benign_samples;
   data_cfg.attack_samples_per_run = preset.attack_samples;
   data_cfg.seed = preset.seed;
-  const monitor::Dataset data = monitor::generate_dataset(data_cfg, {benign});
+  const monitor::Dataset data = monitor::generate_dataset(data_cfg, benigns);
 
   core::Dl2Fence fence(core::Dl2FenceConfig::paper_default(mesh));
   core::TrainConfig det_cfg;
@@ -122,14 +136,22 @@ CampaignResult run_campaign(const CampaignConfig& cfg, const ModelSnapshot& mode
     }
   }
 
+  // Workload axis: an empty list means "the params.benign workload only"
+  // (the original two-axis grid, with the workload still recorded).
+  const std::vector<monitor::Benchmark> workloads =
+      cfg.workloads.empty() ? std::vector<monitor::Benchmark>{cfg.params.benign} : cfg.workloads;
+
   struct Job {
     const std::string* family;
+    const monitor::Benchmark* workload;
     std::uint64_t seed;
   };
   std::vector<Job> jobs;
-  jobs.reserve(cfg.families.size() * cfg.seeds.size());
+  jobs.reserve(cfg.families.size() * workloads.size() * cfg.seeds.size());
   for (const auto& family : cfg.families) {
-    for (const std::uint64_t seed : cfg.seeds) jobs.push_back(Job{&family, seed});
+    for (const auto& workload : workloads) {
+      for (const std::uint64_t seed : cfg.seeds) jobs.push_back(Job{&family, &workload, seed});
+    }
   }
 
   CampaignResult result;
@@ -161,7 +183,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg, const ModelSnapshot& mode
       while (!failed.load(std::memory_order_relaxed)) {
         const std::size_t i = cursor.fetch_add(1);
         if (i >= jobs.size()) break;
-        result.jobs[i] = run_job(cfg, engine, *jobs[i].family, jobs[i].seed);
+        result.jobs[i] = run_job(cfg, engine, *jobs[i].family, *jobs[i].workload, jobs[i].seed);
       }
     } catch (...) {
       const std::scoped_lock lock(error_mutex);
@@ -222,7 +244,8 @@ std::string CampaignResult::serialize() const {
   os << std::fixed << std::setprecision(6);
   for (const auto& job : jobs) {
     const auto& s = job.summary;
-    os << job.family << ' ' << job.seed << " windows=" << s.windows
+    os << job.family << " workload=" << job.workload << " seed=" << job.seed
+       << " windows=" << s.windows
        << " det_acc=" << s.detection.accuracy << " det_f1=" << s.detection.f1
        << " atk_f1=" << s.attacker_id.f1 << " first_attack=" << s.first_attack_cycle
        << " detect=" << s.detect_cycle << " mitigate=" << s.mitigate_cycle

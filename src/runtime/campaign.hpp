@@ -1,6 +1,6 @@
-// Parallel scenario-campaign engine: sweep a scenario-family × seed grid
-// of online defense runs on a worker pool and aggregate the results into
-// the repo's TextTable reports.
+// Parallel scenario-campaign engine: sweep a scenario-family ×
+// benign-workload × seed grid of online defense runs on a worker pool and
+// aggregate the results into the repo's TextTable reports.
 //
 // Scaling model: one complete, independent Simulation + DefenseRuntime per
 // job; a worker pool of std::threads drains the job grid through an atomic
@@ -57,9 +57,20 @@ struct TrainPreset {
                                                  const monitor::Benchmark& benign,
                                                  const TrainPreset& preset);
 
+/// Same, pooling the training dataset over several benign workloads — the
+/// model a cross-workload robustness campaign should start from (one
+/// workload's traffic statistics do not transfer to the other eight).
+[[nodiscard]] ModelSnapshot train_model_snapshot(const MeshShape& mesh,
+                                                 const std::vector<monitor::Benchmark>& benigns,
+                                                 const TrainPreset& preset);
+
 struct CampaignConfig {
   /// Grid axes: every family must exist in ScenarioRegistry.
   std::vector<std::string> families = builtin_scenario_families();
+  /// Third grid axis: benign workloads each (family, seed) cell runs
+  /// against. Empty keeps the two-axis grid, running every job on
+  /// params.benign (each job's workload name is still recorded).
+  std::vector<monitor::Benchmark> workloads;
   std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
   std::int32_t threads = 1;
   std::int32_t windows = 12;  ///< monitoring windows per job
@@ -71,12 +82,14 @@ struct CampaignConfig {
 
 struct JobResult {
   std::string family;
+  std::string workload;  ///< benign workload name (Benchmark::name())
   std::uint64_t seed = 0;
   DefenseSummary summary;
 };
 
 struct CampaignResult {
-  std::vector<JobResult> jobs;  ///< grid order: family-major, seed-minor
+  /// Grid order: family-major, then workload, seed-minor.
+  std::vector<JobResult> jobs;
 
   /// One aggregate row per family: detection accuracy, attacker-id F1,
   /// mitigation/recovery rates, mean time-to-mitigate and latency ratio.

@@ -1,0 +1,81 @@
+// Adaptive-attacker robustness matrix: per (scenario family × benign
+// workload) aggregation of a three-axis campaign.
+//
+// The evasive families (traffic/evasive.hpp) are the first workload where
+// the detector is *expected* to partially fail — this report is the
+// artifact that shows where. Each cell averages the seeds of one
+// (family, workload) grid coordinate into the four questions the defense
+// must answer: did we detect (accuracy/F1), did we name the right nodes
+// (localization F1), how fast did we fence (time-to-mitigate), and did
+// benign latency come back (recovery ratio).
+//
+// Output is deterministic: a fixed-precision TextTable for humans, a
+// family × workload detection-F1 matrix for at-a-glance blind-spot
+// scanning, and a machine-readable JSON payload (BENCH_robustness.json,
+// emitted by bench/bench_robustness.cpp and gated in CI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.hpp"
+
+namespace dl2f::runtime {
+
+/// One (family × workload) cell, averaged over the seed axis.
+struct RobustnessCell {
+  std::string family;
+  std::string workload;
+  std::int64_t jobs = 0;
+
+  double detection_accuracy = 0.0;  ///< mean per-window verdict accuracy
+  double detection_f1 = 0.0;        ///< mean per-window verdict F1
+  double localization_f1 = 0.0;     ///< mean TLM attacker-set F1 (attack windows)
+  double mitigation_rate = 0.0;     ///< fraction of jobs fully fenced
+  double mean_time_to_mitigate = -1.0;  ///< cycles, over mitigated jobs (-1: none)
+  double recovery_rate = 0.0;           ///< fraction of jobs recovered
+  double mean_recovery_ratio = -1.0;    ///< recovered/baseline latency (-1: none)
+};
+
+class RobustnessReport {
+ public:
+  /// Aggregate `result` over the given axis orders. Jobs whose family or
+  /// workload is not listed are ignored; listed cells with no jobs keep
+  /// jobs == 0 (deterministic shape regardless of campaign content).
+  static RobustnessReport from_campaign(const CampaignResult& result,
+                                        const std::vector<std::string>& families,
+                                        const std::vector<std::string>& workloads);
+
+  [[nodiscard]] const std::vector<std::string>& families() const noexcept { return families_; }
+  [[nodiscard]] const std::vector<std::string>& workloads() const noexcept { return workloads_; }
+  /// Family-major, workload-minor; size = families × workloads.
+  [[nodiscard]] const std::vector<RobustnessCell>& cells() const noexcept { return cells_; }
+
+  /// Cell lookup; nullptr when either axis value is not in the report.
+  [[nodiscard]] const RobustnessCell* cell(std::string_view family,
+                                           std::string_view workload) const;
+
+  /// Full per-cell table: one row per (family, workload) with every metric.
+  [[nodiscard]] TextTable table() const;
+
+  /// Detection-F1 matrix (family rows × workload columns) — the
+  /// at-a-glance view of where the detector holds and where it fails.
+  [[nodiscard]] TextTable detection_matrix() const;
+
+  /// Cells where the detector partially fails: detection F1 below
+  /// `detection_f1_floor` (cells with zero jobs are skipped).
+  [[nodiscard]] std::vector<const RobustnessCell*> blind_spots(
+      double detection_f1_floor = 0.5) const;
+
+  /// Machine-readable JSON object (families, workloads, one record per
+  /// cell) with fixed key order and fixed precision — byte-identical for
+  /// equal campaigns.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<std::string> families_;
+  std::vector<std::string> workloads_;
+  std::vector<RobustnessCell> cells_;
+};
+
+}  // namespace dl2f::runtime

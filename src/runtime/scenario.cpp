@@ -3,16 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "traffic/evasive.hpp"
+
 namespace dl2f::runtime {
 namespace {
-
-/// splitmix64 — decorrelates the sub-seeds derived from one scenario seed.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 /// Shared plumbing: the attack "legs" (one AttackScenario each) are fixed
 /// at construction — ground truth is queryable before install() — and
@@ -214,6 +208,122 @@ class RampFdos final : public FdosScenarioBase {
   }
 };
 
+/// Detection-aware duty cycling at sub-window scale: the attack floods
+/// pulse_duty of every pulse_period cycles (period << window_cycles), so
+/// the window-averaged VCO sees only duty * FIR pressure while queues
+/// still spike every burst. The generator gates itself off the mesh
+/// clock — on_cycle has nothing to drive.
+class PulseFdos final : public FdosScenarioBase {
+ public:
+  PulseFdos(const ScenarioParams& params, std::uint64_t seed) : FdosScenarioBase("pulse", params) {
+    assert(params.pulse_period > 0);
+    legs_.push_back(traffic::make_scenarios(params.mesh, 1, params.num_attackers, params.fir,
+                                            mix64(seed))[0]);
+    schedule_.start = params.attack_start;
+    schedule_.period = params.pulse_period;
+    schedule_.duty = params.pulse_duty;
+    schedule_.phase = params.pulse_phase;
+  }
+
+  void install(traffic::Simulation& sim, std::uint64_t seed) override {
+    sim.add_generator(params_.benign.make_generator(params_.mesh, mix64(seed ^ 1)));
+    sim.emplace_generator<traffic::PulsedFloodingAttack>(legs_[0], schedule_, mix64(seed ^ 3));
+  }
+
+  void on_cycle(noc::Cycle) override {}
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    return schedule_.on(at) ? legs_[0].attackers : std::vector<NodeId>{};
+  }
+
+ private:
+  traffic::PulseSchedule schedule_;
+};
+
+/// Sub-threshold stealth ramp: FIR creeps from ramp_start_fir to the
+/// stealth_fir ceiling and stays there — it never shows the detector the
+/// saturating rates it was trained on.
+class StealthRampFdos final : public FdosScenarioBase {
+ public:
+  StealthRampFdos(const ScenarioParams& params, std::uint64_t seed)
+      : FdosScenarioBase("stealth-ramp", params) {
+    ramp_.start = params.attack_start;
+    ramp_.ramp_cycles = params.stealth_ramp_cycles;
+    ramp_.ceiling = std::clamp(params.stealth_fir, 0.0, 1.0);
+    ramp_.start_fir = std::min(params.ramp_start_fir, ramp_.ceiling);
+    traffic::AttackScenario leg = traffic::make_scenarios(
+        params.mesh, 1, params.num_attackers, ramp_.ceiling, mix64(seed))[0];
+    legs_.push_back(std::move(leg));
+  }
+
+  void on_cycle(noc::Cycle now) override {
+    auto* attack = attacks_[0];
+    attack->set_active(started(now));
+    if (started(now)) attack->set_fir(ramp_.fir_at(now));
+  }
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    return started(at) ? legs_[0].attackers : std::vector<NodeId>{};
+  }
+
+ private:
+  traffic::StealthRamp ramp_;
+};
+
+/// Colluding low-rate multi-source flood: `colluders` distinct sources
+/// share a victim, each at aggregate/colluders — every individual source
+/// injects within the benign rate range; only the aggregate at the
+/// victim's ingress saturates.
+class ColludingFdos final : public FdosScenarioBase {
+ public:
+  ColludingFdos(const ScenarioParams& params, std::uint64_t seed)
+      : FdosScenarioBase("colluding", params) {
+    legs_.push_back(traffic::make_colluding_scenario(
+        params.mesh, params.colluders, params.colluding_aggregate_fir, mix64(seed)));
+  }
+
+  void on_cycle(noc::Cycle now) override { attacks_[0]->set_active(started(now)); }
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    return started(at) ? legs_[0].attackers : std::vector<NodeId>{};
+  }
+};
+
+/// Benign mimicry: attackers inject along the benign SyntheticPattern's
+/// own destination map, so the attack's spatial signature matches the
+/// workload and only the added volume differs. PARSEC workloads (no
+/// pattern map) are mimicked as UniformRandom.
+class MimicryFdos final : public FdosScenarioBase {
+ public:
+  MimicryFdos(const ScenarioParams& params, std::uint64_t seed)
+      : FdosScenarioBase("mimicry", params) {
+    // make_scenarios picks distinct, well-separated attacker nodes; the
+    // leg's victim is unused (destinations come from the pattern).
+    legs_.push_back(traffic::make_scenarios(params.mesh, 1, params.num_attackers,
+                                            params.mimicry_fir, mix64(seed))[0]);
+    if (const auto* stp = std::get_if<traffic::SyntheticPattern>(&params.benign.kind)) {
+      pattern_ = *stp;
+    }
+  }
+
+  void install(traffic::Simulation& sim, std::uint64_t seed) override {
+    sim.add_generator(params_.benign.make_generator(params_.mesh, mix64(seed ^ 1)));
+    mimic_ = sim.emplace_generator<traffic::MimicryAttack>(legs_[0].attackers, pattern_,
+                                                           params_.mimicry_fir, mix64(seed ^ 3));
+    mimic_->set_active(false);
+  }
+
+  void on_cycle(noc::Cycle now) override { mimic_->set_active(started(now)); }
+
+  [[nodiscard]] std::vector<NodeId> active_attackers(noc::Cycle at) const override {
+    return started(at) ? legs_[0].attackers : std::vector<NodeId>{};
+  }
+
+ private:
+  traffic::SyntheticPattern pattern_ = traffic::SyntheticPattern::UniformRandom;
+  traffic::MimicryAttack* mimic_ = nullptr;
+};
+
 }  // namespace
 
 ScenarioRegistry::ScenarioRegistry() {
@@ -231,6 +341,18 @@ ScenarioRegistry::ScenarioRegistry() {
   });
   add("ramp", [](const ScenarioParams& p, std::uint64_t s) {
     return std::make_unique<RampFdos>(p, s);
+  });
+  add("pulse", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<PulseFdos>(p, s);
+  });
+  add("stealth-ramp", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<StealthRampFdos>(p, s);
+  });
+  add("colluding", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<ColludingFdos>(p, s);
+  });
+  add("mimicry", [](const ScenarioParams& p, std::uint64_t s) {
+    return std::make_unique<MimicryFdos>(p, s);
   });
 }
 
@@ -264,6 +386,16 @@ std::vector<std::string> ScenarioRegistry::names() const {
 
 std::vector<std::string> builtin_scenario_families() {
   return {"static", "transient", "victim-sweep", "multi-victim", "ramp"};
+}
+
+std::vector<std::string> evasive_scenario_families() {
+  return {"pulse", "stealth-ramp", "colluding", "mimicry"};
+}
+
+std::vector<std::string> all_scenario_families() {
+  auto all = builtin_scenario_families();
+  for (auto& f : evasive_scenario_families()) all.push_back(std::move(f));
+  return all;
 }
 
 }  // namespace dl2f::runtime

@@ -49,6 +49,28 @@ struct ScenarioParams {
   // ramp: FIR climbs linearly from ramp_start_fir to fir over ramp_cycles.
   noc::Cycle ramp_cycles = 6000;
   double ramp_start_fir = 0.1;
+
+  // --- evasive families (traffic/evasive.hpp behaviors) ---
+
+  // pulse: detection-aware duty cycling at sub-window scale — on for
+  // pulse_duty of every pulse_period cycles, offset by pulse_phase.
+  noc::Cycle pulse_period = 250;
+  double pulse_duty = 0.3;
+  noc::Cycle pulse_phase = 0;
+
+  // stealth-ramp: FIR creeps from ramp_start_fir up to stealth_fir (a
+  // sub-saturation ceiling, never the full `fir`) over stealth_ramp_cycles.
+  double stealth_fir = 0.3;
+  noc::Cycle stealth_ramp_cycles = 8000;
+
+  // colluding: `colluders` distinct sources share one victim, each at
+  // colluding_aggregate_fir / colluders — only the aggregate saturates.
+  std::int32_t colluders = 6;
+  double colluding_aggregate_fir = 0.9;
+
+  // mimicry: attack volume shaped like the benign SyntheticPattern (PARSEC
+  // workloads are mimicked as UniformRandom) at this per-attacker FIR.
+  double mimicry_fir = 0.35;
 };
 
 /// One live attack campaign on one Simulation.
@@ -103,7 +125,14 @@ class ScenarioRegistry {
   std::map<std::string, Factory, std::less<>> factories_;
 };
 
-/// The five built-in family names.
+/// The original five built-in family names (the non-adaptive attackers).
 [[nodiscard]] std::vector<std::string> builtin_scenario_families();
+
+/// The four evasive (detection-aware) families: "pulse", "stealth-ramp",
+/// "colluding", "mimicry" — each built on a traffic/evasive.hpp behavior.
+[[nodiscard]] std::vector<std::string> evasive_scenario_families();
+
+/// All nine registered families: builtin followed by evasive.
+[[nodiscard]] std::vector<std::string> all_scenario_families();
 
 }  // namespace dl2f::runtime

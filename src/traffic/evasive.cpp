@@ -1,0 +1,68 @@
+#include "traffic/evasive.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace dl2f::traffic {
+
+PulsedFloodingAttack::PulsedFloodingAttack(AttackScenario scenario, PulseSchedule schedule,
+                                           std::uint64_t seed)
+    : scenario_(std::move(scenario)), schedule_(schedule), rng_(seed) {
+  assert(schedule_.period > 0);
+  assert(schedule_.duty >= 0.0 && schedule_.duty <= 1.0);
+  assert(scenario_.victim >= 0 && !scenario_.attackers.empty());
+}
+
+void PulsedFloodingAttack::tick(noc::Mesh& mesh) {
+  if (!active_ || !schedule_.on(mesh.now())) return;
+  for (const NodeId attacker : scenario_.attackers) {
+    if (rng_.bernoulli(scenario_.fir)) {
+      mesh.inject(attacker, scenario_.victim, /*length_flits=*/1, /*malicious=*/true);
+    }
+  }
+}
+
+MimicryAttack::MimicryAttack(std::vector<NodeId> attackers, SyntheticPattern pattern, double fir,
+                             std::uint64_t seed)
+    : attackers_(std::move(attackers)), pattern_(pattern), fir_(fir), rng_(seed) {
+  assert(!attackers_.empty());
+  assert(fir_ >= 0.0 && fir_ <= 1.0);
+}
+
+NodeId MimicryAttack::draw_destination(const MeshShape& shape, NodeId src) {
+  return pattern_destination(pattern_, shape, src, rng_);
+}
+
+void MimicryAttack::tick(noc::Mesh& mesh) {
+  if (!active_) return;
+  for (const NodeId attacker : attackers_) {
+    if (!rng_.bernoulli(fir_)) continue;
+    const NodeId dst = draw_destination(mesh.shape(), attacker);
+    // Same self-destination skip as the benign SyntheticTraffic — perfect
+    // mimicry includes mimicking what the workload does NOT send.
+    if (dst != attacker) mesh.inject(attacker, dst, /*length_flits=*/1, /*malicious=*/true);
+  }
+}
+
+AttackScenario make_colluding_scenario(const MeshShape& mesh, std::int32_t colluders,
+                                       double aggregate_fir, std::uint64_t seed) {
+  // Validate loudly in every build type: an out-of-range aggregate would
+  // silently turn the "low-rate" sources into full-rate flooders (the
+  // per-attacker FIR must stay a probability), corrupting any robustness
+  // matrix built from the config.
+  if (colluders < 1) {
+    throw std::invalid_argument("make_colluding_scenario: colluders must be >= 1, got " +
+                                std::to_string(colluders));
+  }
+  if (!(aggregate_fir >= 0.0 && aggregate_fir <= static_cast<double>(colluders))) {
+    throw std::invalid_argument(
+        "make_colluding_scenario: aggregate_fir must be in [0, colluders] so each source's "
+        "FIR is a probability; got " +
+        std::to_string(aggregate_fir) + " across " + std::to_string(colluders) + " colluders");
+  }
+  return make_scenarios(mesh, /*count=*/1, colluders,
+                        aggregate_fir / static_cast<double>(colluders), seed)[0];
+}
+
+}  // namespace dl2f::traffic

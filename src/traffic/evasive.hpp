@@ -1,0 +1,132 @@
+// Adaptive attackers that actively evade the VCO/BOC monitors.
+//
+// The baseline FloodingAttack (fdos.hpp) maximizes pressure and is the
+// easiest case for a window-averaged detector. The behaviors here trade
+// raw pressure for stealth, each defeating a different assumption of the
+// monitoring pipeline:
+//
+//  * PulsedFloodingAttack — detection-aware on/off duty cycling at
+//    sub-window scale. A monitoring window averages VCO over its whole
+//    span, so a pulse that floods `duty` of every `period` cycles shows
+//    only `duty * FIR` average pressure while still spiking queues.
+//  * StealthRamp (+ FloodingAttack::set_fir) — a sub-threshold ramp that
+//    creeps from a negligible FIR up to a ceiling chosen to stay *below*
+//    saturation, probing how much pressure goes unflagged forever.
+//  * make_colluding_scenario — many low-rate sources aimed at one victim;
+//    no single attacker's injection rate stands out, only the aggregate
+//    at the victim's ingress saturates.
+//  * MimicryAttack — flooding shaped like the active benign
+//    SyntheticPattern: destinations are drawn from the same pattern map
+//    as the benign generator, so the attack's spatial signature matches
+//    the workload and only the volume differs.
+//
+// All behaviors stay protocol-legal (§2.3): XY routing, credit flow
+// control, packets tagged `malicious` only for ground truth.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "traffic/fdos.hpp"
+#include "traffic/patterns.hpp"
+
+namespace dl2f::traffic {
+
+/// Cycle-level on/off schedule of a duty-cycled attacker. Pure function of
+/// the cycle number, so generators, scenarios and ground-truth scoring all
+/// agree on when the attack is live without sharing state.
+struct PulseSchedule {
+  noc::Cycle start = 0;     ///< cycles before `start` are always off
+  noc::Cycle period = 250;  ///< full on+off period (> 0)
+  double duty = 0.3;        ///< fraction of each period spent on, in [0, 1]
+  noc::Cycle phase = 0;     ///< offset into the period at cycle `start`
+
+  [[nodiscard]] bool on(noc::Cycle at) const noexcept {
+    if (at < start || period <= 0) return false;
+    const auto p = (at - start + phase) % period;
+    return static_cast<double>(p) < duty * static_cast<double>(period);
+  }
+};
+
+/// Duty-cycled FDoS: floods like FloodingAttack but only on the schedule's
+/// on-phases, gating itself off the mesh clock (no per-cycle driver
+/// needed). RNG advances only on on-cycles, so the injected sequence is a
+/// pure function of (scenario, schedule, seed).
+class PulsedFloodingAttack final : public TrafficGenerator {
+ public:
+  PulsedFloodingAttack(AttackScenario scenario, PulseSchedule schedule, std::uint64_t seed);
+
+  void tick(noc::Mesh& mesh) override;
+
+  [[nodiscard]] const AttackScenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const PulseSchedule& schedule() const noexcept { return schedule_; }
+  /// Master gate on top of the schedule (mixed benign/attack traces).
+  void set_active(bool active) noexcept { active_ = active; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  AttackScenario scenario_;
+  PulseSchedule schedule_;
+  Rng rng_;
+  bool active_ = true;
+};
+
+/// Sub-threshold FIR schedule: climbs linearly from `start_fir` at cycle
+/// `start` to `ceiling` over `ramp_cycles`, then holds the ceiling — it
+/// never reaches the saturating rates the detector was trained against.
+struct StealthRamp {
+  noc::Cycle start = 0;
+  noc::Cycle ramp_cycles = 8000;
+  double start_fir = 0.05;
+  double ceiling = 0.3;
+
+  [[nodiscard]] double fir_at(noc::Cycle at) const noexcept {
+    if (at < start) return 0.0;
+    if (ramp_cycles <= 0) return ceiling;
+    const double frac = std::min(1.0, static_cast<double>(at - start) /
+                                          static_cast<double>(ramp_cycles));
+    return start_fir + (ceiling - start_fir) * frac;
+  }
+};
+
+/// Benign-mimicry flooding: each attacker injects malicious packets whose
+/// destinations follow `pattern` — the same destination map the benign
+/// SyntheticTraffic uses — so the attack adds volume without adding a
+/// distinguishable spatial signature.
+class MimicryAttack final : public TrafficGenerator {
+ public:
+  MimicryAttack(std::vector<NodeId> attackers, SyntheticPattern pattern, double fir,
+                std::uint64_t seed);
+
+  void tick(noc::Mesh& mesh) override;
+
+  /// The destination the next injection from `src` would take (advances
+  /// the RNG for UniformRandom; deterministic patterns leave it alone).
+  [[nodiscard]] NodeId draw_destination(const MeshShape& shape, NodeId src);
+
+  [[nodiscard]] const std::vector<NodeId>& attackers() const noexcept { return attackers_; }
+  [[nodiscard]] SyntheticPattern pattern() const noexcept { return pattern_; }
+  [[nodiscard]] double fir() const noexcept { return fir_; }
+  void set_active(bool active) noexcept { active_ = active; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  std::vector<NodeId> attackers_;
+  SyntheticPattern pattern_;
+  double fir_;
+  Rng rng_;
+  bool active_ = true;
+};
+
+/// Colluding low-rate flood: `colluders` distinct attackers (each >= 2
+/// hops from the shared victim) each flooding at aggregate_fir/colluders,
+/// so the victim's ingress sees `aggregate_fir` packets/cycle while every
+/// individual source stays in the benign injection-rate range. Throws
+/// std::invalid_argument (via make_scenarios) when the mesh cannot host
+/// `colluders` such placements.
+[[nodiscard]] AttackScenario make_colluding_scenario(const MeshShape& mesh,
+                                                     std::int32_t colluders,
+                                                     double aggregate_fir, std::uint64_t seed);
+
+}  // namespace dl2f::traffic

@@ -1,0 +1,196 @@
+// Evasive attacker behaviors: pulse schedule period/phase determinism,
+// colluding aggregate-rate invariant, mimicry destination distribution.
+#include "traffic/evasive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "traffic/simulation.hpp"
+
+namespace dl2f::traffic {
+namespace {
+
+constexpr MeshShape kMesh = MeshShape::square(8);
+
+AttackScenario corner_scenario(double fir) {
+  AttackScenario s;
+  s.attackers = {0, 7};
+  s.victim = 36;  // center-ish of the 8x8 mesh, >= 2 hops from both corners
+  s.fir = fir;
+  return s;
+}
+
+std::int64_t malicious_ejected(const traffic::Simulation& sim) {
+  return sim.mesh().stats().packets_ejected() - sim.mesh().benign_stats().packets_ejected();
+}
+
+TEST(PulseSchedule, IsPeriodicAndPhaseShifted) {
+  PulseSchedule sched;
+  sched.start = 100;
+  sched.period = 200;
+  sched.duty = 0.25;
+  sched.phase = 0;
+
+  EXPECT_FALSE(sched.on(0));
+  EXPECT_FALSE(sched.on(99));  // before start: always off
+  // One full period starting at `start`: on for duty*period, then off.
+  EXPECT_TRUE(sched.on(100));
+  EXPECT_TRUE(sched.on(149));
+  EXPECT_FALSE(sched.on(150));
+  EXPECT_FALSE(sched.on(299));
+  // Exactly periodic: shifting by any multiple of the period is identity.
+  for (noc::Cycle at = 100; at < 500; ++at) {
+    EXPECT_EQ(sched.on(at), sched.on(at + 3 * sched.period)) << at;
+  }
+
+  // A phase offset rotates the waveform within the period.
+  PulseSchedule shifted = sched;
+  shifted.phase = 50;
+  EXPECT_FALSE(shifted.on(100));  // phase 50 lands past the on-span [0, 50)
+  EXPECT_TRUE(shifted.on(250));   // wraps back into the on-span
+  for (noc::Cycle at = 100; at < 500; ++at) {
+    EXPECT_EQ(shifted.on(at), sched.on(at + 50)) << at;
+  }
+}
+
+TEST(PulseSchedule, DutyZeroNeverOnDutyOneAlwaysOn) {
+  PulseSchedule sched;
+  sched.period = 100;
+  sched.duty = 0.0;
+  for (noc::Cycle at = 0; at < 300; ++at) EXPECT_FALSE(sched.on(at));
+  sched.duty = 1.0;
+  for (noc::Cycle at = 0; at < 300; ++at) EXPECT_TRUE(sched.on(at));
+}
+
+TEST(PulsedFloodingAttack, InjectsOnlyDuringOnPhasesAndDeterministically) {
+  // One on-phase ever: on for [0, 200), then off until cycle 2^30 — every
+  // cycle the simulation below touches after 200 is off-phase. Without
+  // quarantine nothing is dropped, so after a full drain the ejected
+  // malicious count equals the injected count exactly.
+  PulseSchedule sched;
+  sched.start = 0;
+  sched.period = noc::Cycle{1} << 30;
+  sched.duty = 200.0 / static_cast<double>(sched.period);
+
+  const auto run = [&](std::uint64_t seed) {
+    noc::MeshConfig cfg;
+    cfg.shape = kMesh;
+    traffic::Simulation sim(cfg);
+    sim.emplace_generator<PulsedFloodingAttack>(corner_scenario(1.0), sched, seed);
+    sim.run(200);    // the whole on-phase
+    sim.run(1800);   // deep into the off-phase: no injections here
+    sim.run_drain(4000);
+    return malicious_ejected(sim);
+  };
+
+  // FIR 1.0: both attackers inject every on-cycle — the count is exactly
+  // attackers x on-cycles, independent of the seed, and nothing is added
+  // during off-phases.
+  EXPECT_EQ(run(1), 2 * 200);
+  EXPECT_EQ(run(99), 2 * 200);
+}
+
+TEST(Colluding, AggregateRateIsInvariantInColluderCount) {
+  const double aggregate = 0.9;
+  for (const std::int32_t k : {2, 3, 6, 9}) {
+    const AttackScenario s = make_colluding_scenario(kMesh, k, aggregate, /*seed=*/5);
+    ASSERT_EQ(static_cast<std::int32_t>(s.attackers.size()), k);
+    // Distinct sources, each >= 2 hops from the shared victim.
+    const std::set<NodeId> distinct(s.attackers.begin(), s.attackers.end());
+    EXPECT_EQ(distinct.size(), s.attackers.size());
+    for (const NodeId a : s.attackers) EXPECT_GE(kMesh.hop_distance(a, s.victim), 2);
+    // The invariant: per-attacker FIR is exactly the aggregate split k
+    // ways — no single source floods harder than aggregate/k.
+    EXPECT_DOUBLE_EQ(s.fir, aggregate / static_cast<double>(k));
+    EXPECT_NEAR(s.fir * static_cast<double>(k), aggregate, 1e-12);
+  }
+}
+
+TEST(Colluding, RejectsNonProbabilityAggregatesInEveryBuildType) {
+  // An aggregate above the colluder count would make each source's FIR
+  // exceed 1; that must throw (not assert) so Release builds fail loudly.
+  EXPECT_THROW((void)make_colluding_scenario(kMesh, 3, 4.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_colluding_scenario(kMesh, 2, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_colluding_scenario(kMesh, 0, 0.5, 1), std::invalid_argument);
+  // The boundary aggregate == colluders (every source at FIR 1.0) is legal.
+  EXPECT_NO_THROW((void)make_colluding_scenario(kMesh, 2, 2.0, 1));
+}
+
+TEST(Colluding, SimulatedAggregateMatchesExpectation) {
+  // 6 colluders at 0.15 each and 2 at 0.45 each deliver the same expected
+  // malicious volume; check both land near 0.9 packets/cycle.
+  for (const std::int32_t k : {2, 6}) {
+    noc::MeshConfig cfg;
+    cfg.shape = kMesh;
+    traffic::Simulation sim(cfg);
+    sim.emplace_generator<FloodingAttack>(make_colluding_scenario(kMesh, k, 0.9, /*seed=*/7),
+                                          /*seed=*/11);
+    const noc::Cycle cycles = 4000;
+    sim.run(cycles);
+    sim.run_drain(2000);
+    const double rate = static_cast<double>(malicious_ejected(sim)) / cycles;
+    EXPECT_NEAR(rate, 0.9, 0.08) << "colluders=" << k;
+  }
+}
+
+TEST(Mimicry, DeterministicPatternsFollowTheBenignDestinationMap) {
+  // For the deterministic patterns the attack's destination must be the
+  // exact benign pattern map — that is the mimicry.
+  for (const SyntheticPattern p :
+       {SyntheticPattern::Tornado, SyntheticPattern::Shuffle, SyntheticPattern::Neighbor,
+        SyntheticPattern::BitRotation, SyntheticPattern::BitComplement}) {
+    MimicryAttack attack({0, 9, 27}, p, 0.5, /*seed=*/3);
+    Rng probe(0);  // deterministic patterns never touch the RNG
+    for (const NodeId src : attack.attackers()) {
+      EXPECT_EQ(attack.draw_destination(kMesh, src), pattern_destination(p, kMesh, src, probe))
+          << to_string(p) << " src=" << src;
+    }
+  }
+}
+
+TEST(Mimicry, UniformRandomSpreadsDestinationsAndSkipsSelf) {
+  MimicryAttack attack({5}, SyntheticPattern::UniformRandom, 1.0, /*seed=*/17);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 512; ++i) {
+    const NodeId d = attack.draw_destination(kMesh, 5);
+    EXPECT_NE(d, 5);
+    EXPECT_TRUE(kMesh.valid(d));
+    seen.insert(d);
+  }
+  // 512 draws over 63 candidates: essentially every destination appears.
+  EXPECT_GT(seen.size(), 50U);
+}
+
+TEST(Mimicry, TickInjectsMaliciousVolumeAtTheConfiguredRate) {
+  noc::MeshConfig cfg;
+  cfg.shape = kMesh;
+  traffic::Simulation sim(cfg);
+  sim.emplace_generator<MimicryAttack>(std::vector<NodeId>{0, 7, 56}, SyntheticPattern::Tornado,
+                                       0.4, /*seed=*/23);
+  const noc::Cycle cycles = 4000;
+  sim.run(cycles);
+  sim.run_drain(2000);
+  const double rate = static_cast<double>(malicious_ejected(sim)) / cycles;
+  EXPECT_NEAR(rate, 3 * 0.4, 0.12);
+}
+
+TEST(StealthRamp, ClimbsToTheCeilingAndHolds) {
+  StealthRamp ramp;
+  ramp.start = 1000;
+  ramp.ramp_cycles = 4000;
+  ramp.start_fir = 0.05;
+  ramp.ceiling = 0.3;
+
+  EXPECT_DOUBLE_EQ(ramp.fir_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(ramp.fir_at(999), 0.0);
+  EXPECT_DOUBLE_EQ(ramp.fir_at(1000), 0.05);
+  EXPECT_DOUBLE_EQ(ramp.fir_at(3000), 0.05 + (0.3 - 0.05) * 0.5);
+  EXPECT_DOUBLE_EQ(ramp.fir_at(5000), 0.3);
+  // Sub-threshold forever: the ceiling is never exceeded.
+  for (noc::Cycle at = 0; at < 20000; at += 100) EXPECT_LE(ramp.fir_at(at), 0.3);
+}
+
+}  // namespace
+}  // namespace dl2f::traffic

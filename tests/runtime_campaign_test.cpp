@@ -84,6 +84,80 @@ TEST(Campaign, ByteIdenticalAcrossWorkerThreadCounts) {
   EXPECT_EQ(one, eight);
 }
 
+CampaignConfig three_axis_campaign() {
+  CampaignConfig cfg = small_campaign();
+  cfg.families = {"static", "pulse", "colluding", "mimicry"};
+  cfg.workloads = {monitor::Benchmark{traffic::SyntheticPattern::UniformRandom},
+                   monitor::Benchmark{traffic::SyntheticPattern::BitComplement},
+                   monitor::Benchmark{traffic::ParsecWorkload::X264}};
+  cfg.seeds = {1, 2};
+  cfg.windows = 3;
+  return cfg;
+}
+
+TEST(Campaign, ThreeAxisGridComesBackFamilyWorkloadSeedOrdered) {
+  const ModelSnapshot snap = deterministic_snapshot();
+  const CampaignConfig cfg = three_axis_campaign();
+  const CampaignResult result = run_campaign(cfg, snap);
+
+  ASSERT_EQ(result.jobs.size(), cfg.families.size() * cfg.workloads.size() * cfg.seeds.size());
+  std::size_t i = 0;
+  for (const auto& family : cfg.families) {
+    for (const auto& workload : cfg.workloads) {
+      for (const std::uint64_t seed : cfg.seeds) {
+        EXPECT_EQ(result.jobs[i].family, family);
+        EXPECT_EQ(result.jobs[i].workload, workload.name());
+        EXPECT_EQ(result.jobs[i].seed, seed);
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(Campaign, ThreeAxisGridIsByteIdenticalAcrossWorkerThreadCounts) {
+  const ModelSnapshot snap = deterministic_snapshot();
+  CampaignConfig cfg = three_axis_campaign();
+
+  cfg.threads = 1;
+  const std::string one = run_campaign(cfg, snap).serialize();
+  cfg.threads = 2;
+  const std::string two = run_campaign(cfg, snap).serialize();
+  cfg.threads = 4;
+  const std::string four = run_campaign(cfg, snap).serialize();
+
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  // The dump names every workload, so equal strings really compare the
+  // whole three-axis grid.
+  EXPECT_NE(one.find("workload=Uniform Random"), std::string::npos);
+  EXPECT_NE(one.find("workload=X264"), std::string::npos);
+}
+
+TEST(Campaign, EmptyWorkloadAxisFallsBackToParamsBenign) {
+  const ModelSnapshot snap = deterministic_snapshot();
+  CampaignConfig cfg = small_campaign();  // cfg.workloads stays empty
+  const CampaignResult result = run_campaign(cfg, snap);
+  ASSERT_EQ(result.jobs.size(), cfg.families.size() * cfg.seeds.size());
+  for (const auto& job : result.jobs) {
+    EXPECT_EQ(job.workload, cfg.params.benign.name());
+  }
+}
+
+TEST(Campaign, WorkloadAxisChangesTheTraffic) {
+  // The same (family, seed) cell under two different workloads must not
+  // produce identical summaries — the workload axis has to matter.
+  const ModelSnapshot snap = deterministic_snapshot();
+  CampaignConfig cfg = small_campaign();
+  cfg.families = {"static"};
+  cfg.seeds = {1};
+  cfg.workloads = {monitor::Benchmark{traffic::SyntheticPattern::UniformRandom},
+                   monitor::Benchmark{traffic::SyntheticPattern::Neighbor}};
+  const CampaignResult result = run_campaign(cfg, snap);
+  ASSERT_EQ(result.jobs.size(), 2U);
+  EXPECT_NE(result.jobs[0].summary.baseline_latency, result.jobs[1].summary.baseline_latency);
+}
+
 TEST(Campaign, RejectsUnknownFamiliesAndMismatchedMeshUpfront) {
   const ModelSnapshot snap = deterministic_snapshot();
 

@@ -1,0 +1,129 @@
+// RobustnessReport: cell aggregation math, deterministic shape, lookup,
+// blind spots and the JSON payload.
+#include "runtime/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dl2f::runtime {
+namespace {
+
+JobResult job(const std::string& family, const std::string& workload, std::uint64_t seed,
+              double det_acc, double det_f1, double atk_f1, noc::Cycle first_attack = 3000,
+              noc::Cycle mitigate = -1, noc::Cycle recover = -1) {
+  JobResult j;
+  j.family = family;
+  j.workload = workload;
+  j.seed = seed;
+  j.summary.windows = 8;
+  j.summary.detection.accuracy = det_acc;
+  j.summary.detection.f1 = det_f1;
+  j.summary.attacker_id.f1 = atk_f1;
+  j.summary.first_attack_cycle = first_attack;
+  j.summary.mitigate_cycle = mitigate;
+  j.summary.recover_cycle = recover;
+  j.summary.baseline_latency = 10.0;
+  j.summary.recovered_latency = 15.0;
+  return j;
+}
+
+CampaignResult two_by_two() {
+  CampaignResult r;
+  // pulse x A: two seeds, one mitigated+recovered, one neither.
+  r.jobs.push_back(job("pulse", "A", 1, 0.8, 0.6, 0.5, 3000, /*mitigate=*/5000, /*recover=*/6000));
+  r.jobs.push_back(job("pulse", "A", 2, 0.6, 0.4, 0.3));
+  // pulse x B: a blind spot (both seeds miss).
+  r.jobs.push_back(job("pulse", "B", 1, 0.4, 0.0, 0.0));
+  r.jobs.push_back(job("pulse", "B", 2, 0.5, 0.2, 0.1));
+  // static x A only — static x B stays an empty cell.
+  r.jobs.push_back(job("static", "A", 1, 1.0, 1.0, 0.9, 3000, /*mitigate=*/4000, /*recover=*/5000));
+  return r;
+}
+
+TEST(RobustnessReport, AggregatesCellsOverTheSeedAxis) {
+  const auto report = RobustnessReport::from_campaign(two_by_two(), {"pulse", "static"}, {"A", "B"});
+
+  ASSERT_EQ(report.cells().size(), 4U);  // 2 families x 2 workloads
+  const auto* pa = report.cell("pulse", "A");
+  ASSERT_NE(pa, nullptr);
+  EXPECT_EQ(pa->jobs, 2);
+  EXPECT_DOUBLE_EQ(pa->detection_accuracy, 0.7);
+  EXPECT_DOUBLE_EQ(pa->detection_f1, 0.5);
+  EXPECT_DOUBLE_EQ(pa->localization_f1, 0.4);
+  EXPECT_DOUBLE_EQ(pa->mitigation_rate, 0.5);
+  EXPECT_DOUBLE_EQ(pa->mean_time_to_mitigate, 2000.0);  // 5000 - 3000, one job
+  EXPECT_DOUBLE_EQ(pa->recovery_rate, 0.5);
+  EXPECT_DOUBLE_EQ(pa->mean_recovery_ratio, 1.5);  // 15 / 10
+
+  // Never-mitigated cell keeps the -1 sentinels.
+  const auto* pb = report.cell("pulse", "B");
+  ASSERT_NE(pb, nullptr);
+  EXPECT_DOUBLE_EQ(pb->mitigation_rate, 0.0);
+  EXPECT_DOUBLE_EQ(pb->mean_time_to_mitigate, -1.0);
+  EXPECT_DOUBLE_EQ(pb->mean_recovery_ratio, -1.0);
+
+  // The grid shape is the requested axes, not the observed jobs: the
+  // static x B cell exists with zero jobs.
+  const auto* sb = report.cell("static", "B");
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sb->jobs, 0);
+
+  EXPECT_EQ(report.cell("no-such-family", "A"), nullptr);
+  EXPECT_EQ(report.cell("pulse", "no-such-workload"), nullptr);
+}
+
+TEST(RobustnessReport, BlindSpotsAreTheLowF1CellsWithJobs) {
+  const auto report = RobustnessReport::from_campaign(two_by_two(), {"pulse", "static"}, {"A", "B"});
+  const auto blind = report.blind_spots(0.5);
+  // pulse x B (F1 0.1) qualifies; pulse x A (0.5) does not (< is strict);
+  // static x B has zero jobs and is skipped.
+  ASSERT_EQ(blind.size(), 1U);
+  EXPECT_EQ(blind[0]->family, "pulse");
+  EXPECT_EQ(blind[0]->workload, "B");
+
+  EXPECT_EQ(report.blind_spots(0.0).size(), 0U);
+  EXPECT_EQ(report.blind_spots(1.1).size(), 3U);  // every non-empty cell
+}
+
+TEST(RobustnessReport, TablesAreDeterministicAndComplete) {
+  const auto report = RobustnessReport::from_campaign(two_by_two(), {"pulse", "static"}, {"A", "B"});
+
+  std::ostringstream t1, t2, m;
+  t1 << report.table();
+  t2 << report.table();
+  m << report.detection_matrix();
+  EXPECT_EQ(t1.str(), t2.str());
+  EXPECT_NE(t1.str().find("pulse"), std::string::npos);
+  EXPECT_NE(t1.str().find("Loc F1"), std::string::npos);
+  // The matrix has one row per family and one column per workload; the
+  // empty static x B cell renders as "-".
+  EXPECT_NE(m.str().find("static"), std::string::npos);
+  EXPECT_NE(m.str().find("B"), std::string::npos);
+  EXPECT_NE(m.str().find("-"), std::string::npos);
+}
+
+TEST(RobustnessReport, JsonCarriesAxesAndEveryCell) {
+  const auto report = RobustnessReport::from_campaign(two_by_two(), {"pulse", "static"}, {"A", "B"});
+  const std::string json = report.to_json();
+
+  EXPECT_NE(json.find("\"families\": [\"pulse\", \"static\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"workloads\": [\"A\", \"B\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"detection_f1\""), std::string::npos);
+  EXPECT_NE(json.find("\"localization_f1\""), std::string::npos);
+  EXPECT_NE(json.find("\"mitigation_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_time_to_mitigate\""), std::string::npos);
+  // One record per cell.
+  std::size_t records = 0;
+  for (std::size_t pos = json.find("\"family\""); pos != std::string::npos;
+       pos = json.find("\"family\"", pos + 1)) {
+    ++records;
+  }
+  EXPECT_EQ(records, 4U);
+  // Equal campaigns serialize byte-identically.
+  EXPECT_EQ(json, RobustnessReport::from_campaign(two_by_two(), {"pulse", "static"}, {"A", "B"})
+                      .to_json());
+}
+
+}  // namespace
+}  // namespace dl2f::runtime

@@ -20,10 +20,12 @@ ScenarioParams small_params() {
 TEST(ScenarioRegistry, RoundTripsEveryBuiltinFamilyName) {
   auto& registry = ScenarioRegistry::instance();
   const auto names = registry.names();
-  EXPECT_GE(names.size(), 5U);
+  EXPECT_GE(names.size(), 9U);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 
-  for (const auto& family : builtin_scenario_families()) {
+  EXPECT_EQ(all_scenario_families().size(),
+            builtin_scenario_families().size() + evasive_scenario_families().size());
+  for (const auto& family : all_scenario_families()) {
     ASSERT_TRUE(registry.contains(family)) << family;
     const auto scenario = registry.make(family, small_params(), /*seed=*/42);
     ASSERT_NE(scenario, nullptr) << family;
@@ -40,7 +42,7 @@ TEST(ScenarioRegistry, UnknownFamilyIsAbsent) {
 
 TEST(ScenarioRegistry, SameSeedSamePlacement) {
   auto& registry = ScenarioRegistry::instance();
-  for (const auto& family : builtin_scenario_families()) {
+  for (const auto& family : all_scenario_families()) {
     const auto a = registry.make(family, small_params(), 9);
     const auto b = registry.make(family, small_params(), 9);
     EXPECT_EQ(a->all_attackers(), b->all_attackers()) << family;
@@ -183,6 +185,127 @@ TEST(RampScenario, StartsQuietAndReachesFullRate) {
   malicious_span(1600);                       // climb the ramp
   const auto late = malicious_span(400);      // FIR near full rate
   EXPECT_GT(late, 2 * early);
+}
+
+TEST(PulseScenario, GroundTruthFollowsTheDutyCycle) {
+  ScenarioParams p = small_params();
+  p.attack_start = 1000;
+  p.pulse_period = 200;
+  p.pulse_duty = 0.25;
+  p.pulse_phase = 0;
+  const auto s = ScenarioRegistry::instance().make("pulse", p, 7);
+  ASSERT_NE(s, nullptr);
+
+  EXPECT_TRUE(s->active_attackers(999).empty());
+  EXPECT_EQ(s->active_attackers(1000).size(), 2U);   // on-span [0, 50) of the period
+  EXPECT_EQ(s->active_attackers(1049).size(), 2U);
+  EXPECT_TRUE(s->active_attackers(1050).empty());    // off-span
+  EXPECT_TRUE(s->active_attackers(1199).empty());
+  EXPECT_EQ(s->active_attackers(1200).size(), 2U);   // next pulse
+  // Ground truth and the installed generator share one schedule, so the
+  // waveform repeats exactly with the period.
+  for (noc::Cycle at = 1000; at < 1400; ++at) {
+    EXPECT_EQ(s->active_attackers(at).empty(), s->active_attackers(at + 5 * 200).empty()) << at;
+  }
+}
+
+TEST(PulseScenario, InstalledGeneratorFloodsOnlyDuringPulses) {
+  ScenarioParams p = small_params();
+  p.attack_start = 0;
+  p.pulse_period = 500;
+  p.pulse_duty = 0.2;
+  p.fir = 1.0;
+  const auto s = ScenarioRegistry::instance().make("pulse", p, 7);
+
+  noc::MeshConfig cfg;
+  cfg.shape = p.mesh;
+  traffic::Simulation sim(cfg);
+  s->install(sim, 31);
+
+  const auto malicious = [&]() {
+    return sim.mesh().stats().packets_ejected() - sim.mesh().benign_stats().packets_ejected();
+  };
+  const auto step_span = [&](noc::Cycle cycles) {
+    const auto before = malicious();
+    for (noc::Cycle c = 0; c < cycles; ++c) {
+      s->on_cycle(sim.mesh().now());
+      sim.step();
+    }
+    return malicious() - before;
+  };
+
+  const auto burst = step_span(100);   // on-span [0, 100)
+  step_span(250);                      // drain margin into the off-span
+  const auto quiet = step_span(100);   // [350, 450): deep off-span
+  EXPECT_GT(burst, 0);
+  EXPECT_EQ(quiet, 0);
+}
+
+TEST(StealthRampScenario, StaysBelowTheStealthCeiling) {
+  ScenarioParams p = small_params();
+  p.attack_start = 0;
+  p.stealth_fir = 0.25;
+  p.stealth_ramp_cycles = 2000;
+  p.ramp_start_fir = 0.05;
+  p.num_attackers = 1;
+  const auto s = ScenarioRegistry::instance().make("stealth-ramp", p, 3);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->active_attackers(0).size(), 1U);
+
+  noc::MeshConfig cfg;
+  cfg.shape = p.mesh;
+  traffic::Simulation sim(cfg);
+  s->install(sim, 9);
+  // Run well past the ramp, then measure the held rate: it must sit near
+  // the ceiling and never approach the full FIR (0.8 default).
+  for (noc::Cycle c = 0; c < 3000; ++c) {
+    s->on_cycle(sim.mesh().now());
+    sim.step();
+  }
+  const auto before =
+      sim.mesh().stats().packets_ejected() - sim.mesh().benign_stats().packets_ejected();
+  const noc::Cycle span = 2000;
+  for (noc::Cycle c = 0; c < span; ++c) {
+    s->on_cycle(sim.mesh().now());
+    sim.step();
+  }
+  const auto after =
+      sim.mesh().stats().packets_ejected() - sim.mesh().benign_stats().packets_ejected();
+  const double rate = static_cast<double>(after - before) / static_cast<double>(span);
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(ColludingScenario, SplitsTheAggregateAcrossAllColluders) {
+  ScenarioParams p = small_params();
+  p.colluders = 5;
+  p.colluding_aggregate_fir = 0.8;
+  const auto s = ScenarioRegistry::instance().make("colluding", p, 21);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->all_attackers().size(), 5U);
+  EXPECT_TRUE(s->active_attackers(p.attack_start - 1).empty());
+  EXPECT_EQ(s->active_attackers(p.attack_start).size(), 5U);
+}
+
+TEST(MimicryScenario, ShapesAttackTrafficLikeTheBenignPattern) {
+  ScenarioParams p = small_params();
+  p.attack_start = 0;
+  p.benign = monitor::Benchmark{traffic::SyntheticPattern::BitComplement};
+  const auto s = ScenarioRegistry::instance().make("mimicry", p, 29);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->active_attackers(0).size(), 2U);
+
+  noc::MeshConfig cfg;
+  cfg.shape = p.mesh;
+  traffic::Simulation sim(cfg);
+  s->install(sim, 33);
+  for (noc::Cycle c = 0; c < 2000; ++c) {
+    s->on_cycle(sim.mesh().now());
+    sim.step();
+  }
+  // Malicious volume flows (the mimic injects)...
+  const auto malicious =
+      sim.mesh().stats().packets_ejected() - sim.mesh().benign_stats().packets_ejected();
+  EXPECT_GT(malicious, 0);
 }
 
 }  // namespace
