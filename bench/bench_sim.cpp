@@ -47,6 +47,8 @@ struct Result {
   std::string load;
   double cycles_per_sec = 0.0;
   double us_per_cycle = 0.0;
+  std::int64_t flits_in_network = 0;  ///< live flits after the measured span
+  double ns_per_flit_cycle = 0.0;     ///< wall time per (live flit x cycle)
 };
 
 traffic::Simulation make_sim(std::int32_t side, bool attack) {
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
 
   std::vector<Result> results;
   double benign_8x8 = 0.0;
-  TextTable table({"Mesh", "Load", "Cycles/s", "us/cycle"});
+  TextTable table({"Mesh", "Load", "Cycles/s", "us/cycle", "Flits", "ns/flit-cyc"});
   for (const std::int32_t side : sizes) {
     for (const LoadCase& load : loads) {
       traffic::Simulation sim = make_sim(side, load.attack);
@@ -114,10 +116,23 @@ int main(int argc, char** argv) {
       res.load = load.name;
       res.cycles_per_sec = cps;
       res.us_per_cycle = 1e6 / cps;
+      // Per-cycle cost scales with the flits in flight, not the router
+      // count: at a fixed per-node injection rate both the average route
+      // length and the per-link utilization grow with the mesh side, so
+      // live flits — and with them us/cycle — grow superlinearly in the
+      // node count. ns per (flit x cycle) staying ~constant across sizes
+      // is the evidence that stepping itself has no superlinear scan.
+      res.flits_in_network = sim.mesh().flits_in_network();
+      if (res.flits_in_network > 0) {
+        res.ns_per_flit_cycle =
+            res.us_per_cycle * 1e3 / static_cast<double>(res.flits_in_network);
+      }
       results.push_back(res);
       if (side == 8 && !load.attack) benign_8x8 = cps;
       table.add_row({std::to_string(side) + "x" + std::to_string(side), load.name,
-                     TextTable::cell(cps, 0), TextTable::cell(res.us_per_cycle, 3)});
+                     TextTable::cell(cps, 0), TextTable::cell(res.us_per_cycle, 3),
+                     std::to_string(res.flits_in_network),
+                     TextTable::cell(res.ns_per_flit_cycle, 1)});
       // Keep the simulated state observable so the loop cannot be elided.
       if (sim.mesh().now() < 0) return 2;
     }
@@ -143,6 +158,16 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     json << (i == 0 ? "" : ", ") << "\"" << results[i].mesh << "_" << results[i].load
          << "\": " << results[i].cycles_per_sec;
+  }
+  json << "},\n  \"flits_in_network\": {";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << results[i].mesh << "_" << results[i].load
+         << "\": " << results[i].flits_in_network;
+  }
+  json << "},\n  \"ns_per_flit_cycle\": {";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << results[i].mesh << "_" << results[i].load
+         << "\": " << results[i].ns_per_flit_cycle;
   }
   json << "},\n"
        << "  \"pre_refactor_benign_8x8_cps\": " << kPreRefactorBenign8x8Cps << ",\n"

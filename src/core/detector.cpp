@@ -4,6 +4,8 @@
 #include <iostream>
 #include <numeric>
 
+#include "nn/train.hpp"
+
 namespace dl2f::core {
 
 DoSDetector::DoSDetector(const DetectorConfig& cfg) : cfg_(cfg) {
@@ -69,6 +71,36 @@ bool DoSDetector::predict(const monitor::FrameSample& sample) {
 
 TrainReport train_detector(DoSDetector& detector, const monitor::Dataset& data,
                            const TrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  detector.model().init_weights(rng);
+  nn::Adam optimizer(detector.model().params(), cfg.learning_rate);
+
+  nn::BatchTrainConfig bt;
+  bt.epochs = cfg.epochs;
+  bt.batch_size = cfg.batch_size;
+  bt.threads = cfg.threads;
+
+  TrainReport report;
+  const auto stage = [&](std::size_t item, nn::Tensor4& input, std::int32_t slot) {
+    detector.preprocess_into(data.samples[item], input, slot);
+  };
+  const auto loss = [&](std::size_t item, const float* pred, std::size_t n,
+                        float* grad) -> nn::ItemLoss {
+    const float target = data.samples[item].under_attack ? 1.0F : 0.0F;
+    return {nn::bce_loss_into(pred, &target, n, 1.0F, grad), 0.0};
+  };
+  const auto on_epoch = [&](std::int32_t epoch, float mean_loss, double /*metric*/) {
+    report.final_loss = mean_loss;
+    ++report.epochs_run;
+    if (cfg.verbose) std::cout << "detector epoch " << epoch << " loss " << mean_loss << '\n';
+  };
+  nn::batch_train(detector.model(), optimizer, detector.input_shape(), data.samples.size(), stage,
+                  loss, bt, rng, on_epoch);
+  return report;
+}
+
+TrainReport train_detector_reference(DoSDetector& detector, const monitor::Dataset& data,
+                                     const TrainConfig& cfg) {
   Rng rng(cfg.seed);
   detector.model().init_weights(rng);
   nn::Adam optimizer(detector.model().params(), cfg.learning_rate);

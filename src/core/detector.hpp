@@ -71,6 +71,10 @@ struct TrainConfig {
   float learning_rate = 1e-3F;
   std::uint64_t seed = 42;
   bool verbose = false;
+  /// Data-parallel training workers (nn::batch_train). Trained weights are
+  /// byte-identical for a given seed at ANY thread count — the gradient
+  /// reduction runs over fixed-size slices in fixed order.
+  std::int32_t threads = 1;
 };
 
 struct TrainReport {
@@ -78,9 +82,18 @@ struct TrainReport {
   std::int32_t epochs_run = 0;
 };
 
-/// Mini-batch Adam training with BCE loss on the attack label.
+/// Mini-batch Adam training with BCE loss on the attack label, on the
+/// batched GEMM path (nn::batch_train): minibatches packed into Tensor4,
+/// per-layer forward_batch/backward_batch, deterministic sliced gradient
+/// reduction across cfg.threads workers.
 TrainReport train_detector(DoSDetector& detector, const monitor::Dataset& data,
                            const TrainConfig& cfg);
+
+/// The pre-batching per-sample trainer (mutable forward/backward, one
+/// sample at a time), retained as the golden reference the batched path
+/// is benchmarked against (bench_train) — cfg.threads is ignored.
+TrainReport train_detector_reference(DoSDetector& detector, const monitor::Dataset& data,
+                                     const TrainConfig& cfg);
 
 /// Per-sample detection confusion matrix over a dataset.
 [[nodiscard]] ConfusionMatrix evaluate_detector(DoSDetector& detector,

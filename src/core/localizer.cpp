@@ -5,6 +5,8 @@
 #include <iostream>
 #include <numeric>
 
+#include "nn/train.hpp"
+
 namespace dl2f::core {
 
 DoSLocalizer::DoSLocalizer(const LocalizerConfig& cfg) : cfg_(cfg) {
@@ -65,25 +67,76 @@ monitor::DirectionalFrames DoSLocalizer::segment_all(const monitor::FrameSample&
   return out;
 }
 
+namespace {
+
+/// One localizer training item per (sample, direction) pair.
+struct LocalizerItem {
+  const Frame* input;
+  const Frame* mask;
+};
+
+std::vector<LocalizerItem> localizer_items(const DoSLocalizer& localizer,
+                                           const monitor::Dataset& data) {
+  std::vector<LocalizerItem> items;
+  const auto feature = localizer.config().feature;
+  for (const auto& s : data.samples) {
+    const auto& frames = feature == Feature::Vco ? s.vco : s.boc;
+    for (Direction d : kMeshDirections) {
+      items.push_back(
+          LocalizerItem{&monitor::frame_of(frames, d), &monitor::frame_of(s.port_truth, d)});
+    }
+  }
+  return items;
+}
+
+}  // namespace
+
 LocalizerTrainReport train_localizer(DoSLocalizer& localizer, const monitor::Dataset& data,
                                      const LocalizerTrainConfig& cfg) {
   Rng rng(cfg.seed);
   localizer.model().init_weights(rng);
   nn::Adam optimizer(localizer.model().params(), cfg.learning_rate);
+  const std::vector<LocalizerItem> items = localizer_items(localizer, data);
 
-  // One training item per (sample, direction) pair.
-  struct Item {
-    const Frame* input;
-    const Frame* mask;
+  nn::BatchTrainConfig bt;
+  bt.epochs = cfg.epochs;
+  bt.batch_size = cfg.batch_size;
+  bt.threads = cfg.threads;
+
+  LocalizerTrainReport report;
+  const auto stage = [&](std::size_t item, nn::Tensor4& input, std::int32_t slot) {
+    localizer.preprocess_into(*items[item].input, input, slot);
   };
-  std::vector<Item> items;
-  const auto feature = localizer.config().feature;
-  for (const auto& s : data.samples) {
-    const auto& frames = feature == Feature::Vco ? s.vco : s.boc;
-    for (Direction d : kMeshDirections) {
-      items.push_back(Item{&monitor::frame_of(frames, d), &monitor::frame_of(s.port_truth, d)});
+  const auto loss = [&](std::size_t item, const float* pred, std::size_t n,
+                        float* grad) -> nn::ItemLoss {
+    const float* target = items[item].mask->data().data();
+    nn::ItemLoss r;
+    r.loss = nn::bce_loss_into(pred, target, n, cfg.positive_weight, grad);
+    r.loss += cfg.dice_weight * nn::dice_loss_add(pred, target, n, cfg.dice_weight, grad);
+    r.metric = nn::dice_score_raw(pred, target, n);
+    return r;
+  };
+  const auto on_epoch = [&](std::int32_t epoch, float mean_loss, double mean_dice) {
+    report.final_loss = mean_loss;
+    report.final_dice = mean_dice;
+    ++report.epochs_run;
+    if (cfg.verbose) {
+      std::cout << "localizer epoch " << epoch << " loss " << mean_loss << " dice " << mean_dice
+                << '\n';
     }
-  }
+  };
+  nn::batch_train(localizer.model(), optimizer, localizer.input_shape(), items.size(), stage,
+                  loss, bt, rng, on_epoch);
+  return report;
+}
+
+LocalizerTrainReport train_localizer_reference(DoSLocalizer& localizer,
+                                               const monitor::Dataset& data,
+                                               const LocalizerTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  localizer.model().init_weights(rng);
+  nn::Adam optimizer(localizer.model().params(), cfg.learning_rate);
+  const std::vector<LocalizerItem> items = localizer_items(localizer, data);
 
   std::vector<std::size_t> order(items.size());
   std::iota(order.begin(), order.end(), 0);
@@ -95,7 +148,7 @@ LocalizerTrainReport train_localizer(DoSLocalizer& localizer, const monitor::Dat
     double epoch_dice = 0.0;
     std::int32_t in_batch = 0;
     for (std::size_t i = 0; i < order.size(); ++i) {
-      const Item& item = items[order[i]];
+      const LocalizerItem& item = items[order[i]];
       const nn::Tensor3 out = localizer.model().forward(localizer.preprocess(*item.input));
       const nn::Tensor3 target = nn::Tensor3::from_frame(*item.mask);
       auto bce = nn::bce_loss(out, target, cfg.positive_weight);

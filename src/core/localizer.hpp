@@ -76,6 +76,9 @@ struct LocalizerTrainConfig {
   float positive_weight = 8.0F; ///< BCE class weight for route pixels (<10% of a frame)
   std::uint64_t seed = 43;
   bool verbose = false;
+  /// Data-parallel training workers (nn::batch_train). Trained weights are
+  /// byte-identical for a given seed at ANY thread count.
+  std::int32_t threads = 1;
 };
 
 struct LocalizerTrainReport {
@@ -86,9 +89,17 @@ struct LocalizerTrainReport {
 
 /// Train on every directional frame of every sample (attack directions
 /// against their port-truth masks; benign/uninvolved directions against
-/// all-zero masks, which teaches suppression).
+/// all-zero masks, which teaches suppression), on the batched GEMM path
+/// (nn::batch_train) with deterministic sliced gradient reduction across
+/// cfg.threads workers.
 LocalizerTrainReport train_localizer(DoSLocalizer& localizer, const monitor::Dataset& data,
                                      const LocalizerTrainConfig& cfg);
+
+/// The pre-batching per-sample trainer, retained as the golden reference
+/// for bench_train — cfg.threads is ignored.
+LocalizerTrainReport train_localizer_reference(DoSLocalizer& localizer,
+                                               const monitor::Dataset& data,
+                                               const LocalizerTrainConfig& cfg);
 
 /// Mean dice score of binarized segmentations against port truth across
 /// all attack-sample directional frames.

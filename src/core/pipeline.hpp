@@ -26,7 +26,18 @@
 // Scaling model: N sessions, one weight set. runtime::DefenseRuntime owns
 // a session per live loop; runtime::run_campaign shares one engine across
 // its whole worker pool; core::score_benchmark and the table benches score
-// test sets through process_batch.
+// test sets through process_batch. Sessions should be constructed ON the
+// thread that will use them: per-thread malloc arenas then place each
+// session's scratch on disjoint pages, so concurrent sessions never share
+// a cache line (see nn/inference.hpp).
+//
+// Training mirrors the same split since the GEMM backend landed:
+// train_detector/train_localizer run batched (minibatches packed into
+// nn::Tensor4, per-worker nn::InferenceContext arenas, fixed-order sliced
+// gradient reduction) and produce byte-identical weights for a given seed
+// at any TrainConfig::threads value. The per-sample reference trainers
+// (train_*_reference) are retained as the golden baseline bench_train
+// measures against.
 //
 // Dl2Fence — the seed's one-window-per-call mutable class — remains as a
 // thin deprecated shim over an engine + session pair. Migration:

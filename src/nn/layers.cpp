@@ -93,91 +93,12 @@ Tensor3 Conv2D::backward(const Tensor3& grad_out) {
   return grad_in;
 }
 
-namespace {
-
-/// How many samples the blocked convolution/dense kernels accumulate at
-/// once. A full block keeps compile-time trip counts so the per-sample
-/// accumulators live in registers.
-constexpr std::int32_t kSampleBlock = 8;
-
-}  // namespace
-
-void Conv2D::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
-  assert(in.channels() == in_c_ && out.channels() == out_c_ && in.batch() == out.batch());
-  // Sample-blocked accumulation: each output pixel is computed for
-  // kSampleBlock samples at once. Per sample the taps still accumulate in
-  // forward()'s exact (i, dy, dx) order — only the serial floating-point
-  // dependency chain is broken across independent per-sample accumulators
-  // (and each weight load is amortized over the block), which is where
-  // batched scoring earns its throughput. Border clipping is hoisted into
-  // the dy/dx bounds; the skipped taps contributed nothing in forward(),
-  // so rounding is unchanged and results stay bitwise-identical. Samples
-  // past the last full block take the scalar path (same tap order).
-  const std::int32_t ih = in.height(), iw = in.width();
-  const std::int32_t oh = out.height(), ow = out.width();
-  const float* wt = weights_.value.data();
-  const std::size_t in_stride = in.sample_size();
-  const std::size_t out_stride = out.sample_size();
-
-  const auto scalar_sample = [&](const float* src, float* dst) {
-    for (std::int32_t o = 0; o < out_c_; ++o) {
-      const float b = bias_.value[static_cast<std::size_t>(o)];
-      for (std::int32_t y = 0; y < oh; ++y) {
-        const std::int32_t dy_lo = std::max(0, pad_ - y);
-        const std::int32_t dy_hi = std::min(k_, ih + pad_ - y);
-        for (std::int32_t x = 0; x < ow; ++x) {
-          const std::int32_t dx_lo = std::max(0, pad_ - x);
-          const std::int32_t dx_hi = std::min(k_, iw + pad_ - x);
-          float acc = b;
-          for (std::int32_t i = 0; i < in_c_; ++i) {
-            for (std::int32_t dy = dy_lo; dy < dy_hi; ++dy) {
-              const float* in_row = src + (i * ih + y + dy - pad_) * iw + (x - pad_);
-              const float* w_row = wt + (((o * in_c_ + i) * k_ + dy) * k_);
-              for (std::int32_t dx = dx_lo; dx < dx_hi; ++dx) acc += w_row[dx] * in_row[dx];
-            }
-          }
-          dst[(o * oh + y) * ow + x] = acc;
-        }
-      }
-    }
-  };
-
-  std::int32_t s0 = 0;
-  for (; s0 + kSampleBlock <= in.batch(); s0 += kSampleBlock) {
-    const float* src0 = in.sample(s0);
-    float* dst0 = out.sample(s0);
-    for (std::int32_t o = 0; o < out_c_; ++o) {
-      const float b = bias_.value[static_cast<std::size_t>(o)];
-      for (std::int32_t y = 0; y < oh; ++y) {
-        const std::int32_t dy_lo = std::max(0, pad_ - y);
-        const std::int32_t dy_hi = std::min(k_, ih + pad_ - y);
-        for (std::int32_t x = 0; x < ow; ++x) {
-          const std::int32_t dx_lo = std::max(0, pad_ - x);
-          const std::int32_t dx_hi = std::min(k_, iw + pad_ - x);
-          float acc[kSampleBlock];
-          for (std::int32_t t = 0; t < kSampleBlock; ++t) acc[t] = b;
-          for (std::int32_t i = 0; i < in_c_; ++i) {
-            for (std::int32_t dy = dy_lo; dy < dy_hi; ++dy) {
-              const std::int32_t base = (i * ih + y + dy - pad_) * iw + (x - pad_);
-              const float* w_row = wt + (((o * in_c_ + i) * k_ + dy) * k_);
-              for (std::int32_t dx = dx_lo; dx < dx_hi; ++dx) {
-                const float wv = w_row[dx];
-                const float* col = src0 + base + dx;
-                for (std::int32_t t = 0; t < kSampleBlock; ++t) {
-                  acc[t] += wv * col[static_cast<std::size_t>(t) * in_stride];
-                }
-              }
-            }
-          }
-          const std::int32_t off = (o * oh + y) * ow + x;
-          for (std::int32_t t = 0; t < kSampleBlock; ++t) {
-            dst0[static_cast<std::size_t>(t) * out_stride + off] = acc[t];
-          }
-        }
-      }
-    }
-  }
-  for (; s0 < in.batch(); ++s0) scalar_sample(in.sample(s0), out.sample(s0));
+std::size_t Conv2D::infer_scratch_floats(const Tensor3& input_shape) const {
+  // The im2col panel: (in_c * k * k) rows by (oh * ow) output pixels. The
+  // backward im2row panel is the transpose, so the same arena serves both.
+  const Tensor3 out = output_shape(input_shape);
+  return static_cast<std::size_t>(in_c_ * k_ * k_) *
+         static_cast<std::size_t>(out.height() * out.width());
 }
 
 // ------------------------------------------------------------- MaxPool2D
@@ -224,30 +145,6 @@ Tensor3 MaxPool2D::backward(const Tensor3& grad_out) {
   return grad_in;
 }
 
-void MaxPool2D::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
-  assert(in.channels() == out.channels() && in.batch() == out.batch());
-  const std::int32_t ih = in.height(), iw = in.width();
-  const std::int32_t oh = out.height(), ow = out.width();
-  for (std::int32_t s = 0; s < in.batch(); ++s) {
-    const float* src = in.sample(s);
-    float* dst = out.sample(s);
-    for (std::int32_t c = 0; c < out.channels(); ++c) {
-      for (std::int32_t y = 0; y < oh; ++y) {
-        for (std::int32_t x = 0; x < ow; ++x) {
-          float best = -std::numeric_limits<float>::infinity();
-          for (std::int32_t dy = 0; dy < pool_; ++dy) {
-            const float* row = src + (c * ih + y * pool_ + dy) * iw + x * pool_;
-            for (std::int32_t dx = 0; dx < pool_; ++dx) {
-              if (row[dx] > best) best = row[dx];
-            }
-          }
-          dst[(c * oh + y) * ow + x] = best;
-        }
-      }
-    }
-  }
-}
-
 // ------------------------------------------------------------------ ReLU
 
 Tensor3 ReLU::forward(const Tensor3& input) {
@@ -263,13 +160,6 @@ Tensor3 ReLU::backward(const Tensor3& grad_out) {
     if (cached_input_.data()[i] <= 0.0F) grad_in.data()[i] = 0.0F;
   }
   return grad_in;
-}
-
-void ReLU::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
-  assert(in.size() == out.size());
-  const float* src = in.data().data();
-  float* dst = out.data().data();
-  for (std::size_t i = 0; i < in.size(); ++i) dst[i] = std::max(src[i], 0.0F);
 }
 
 // --------------------------------------------------------------- Sigmoid
@@ -290,13 +180,6 @@ Tensor3 Sigmoid::backward(const Tensor3& grad_out) {
   return grad_in;
 }
 
-void Sigmoid::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
-  assert(in.size() == out.size());
-  const float* src = in.data().data();
-  float* dst = out.data().data();
-  for (std::size_t i = 0; i < in.size(); ++i) dst[i] = 1.0F / (1.0F + std::exp(-src[i]));
-}
-
 // --------------------------------------------------------------- Flatten
 
 Tensor3 Flatten::forward(const Tensor3& input) {
@@ -312,11 +195,6 @@ Tensor3 Flatten::backward(const Tensor3& grad_out) {
   Tensor3 grad_in(c_, h_, w_);
   grad_in.data() = grad_out.data();
   return grad_in;
-}
-
-void Flatten::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
-  assert(in.size() == out.size());
-  std::copy(in.data().begin(), in.data().end(), out.data().begin());
 }
 
 // ----------------------------------------------------------------- Dense
@@ -365,46 +243,11 @@ Tensor3 Dense::backward(const Tensor3& grad_out) {
   return grad_in;
 }
 
-void Dense::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
-  assert(static_cast<std::int32_t>(in.sample_size()) == in_f_ && out.channels() == out_f_);
-  // Same sample-blocking as Conv2D::infer_batch: per-sample accumulation
-  // order (ascending i) is forward()'s, only the dependency chain is
-  // broken across samples; the tail takes the scalar path.
-  const float* wt = weights_.value.data();
-  const std::size_t in_stride = in.sample_size();
-  const std::size_t out_stride = out.sample_size();
-  std::int32_t s0 = 0;
-  for (; s0 + kSampleBlock <= in.batch(); s0 += kSampleBlock) {
-    const float* src0 = in.sample(s0);
-    float* dst0 = out.sample(s0);
-    for (std::int32_t o = 0; o < out_f_; ++o) {
-      const float* row = wt + static_cast<std::size_t>(o * in_f_);
-      float acc[kSampleBlock];
-      for (std::int32_t t = 0; t < kSampleBlock; ++t) {
-        acc[t] = bias_.value[static_cast<std::size_t>(o)];
-      }
-      for (std::int32_t i = 0; i < in_f_; ++i) {
-        const float wv = row[i];
-        const float* col = src0 + i;
-        for (std::int32_t t = 0; t < kSampleBlock; ++t) {
-          acc[t] += wv * col[static_cast<std::size_t>(t) * in_stride];
-        }
-      }
-      for (std::int32_t t = 0; t < kSampleBlock; ++t) {
-        dst0[static_cast<std::size_t>(t) * out_stride + o] = acc[t];
-      }
-    }
-  }
-  for (; s0 < in.batch(); ++s0) {
-    const float* src = in.sample(s0);
-    float* dst = out.sample(s0);
-    for (std::int32_t o = 0; o < out_f_; ++o) {
-      float acc = bias_.value[static_cast<std::size_t>(o)];
-      const float* row = wt + static_cast<std::size_t>(o * in_f_);
-      for (std::int32_t i = 0; i < in_f_; ++i) acc += row[i] * src[i];
-      dst[o] = acc;
-    }
-  }
+std::size_t Dense::infer_scratch_floats(const Tensor3& /*input_shape*/) const {
+  // One transposed sample panel (in_f x kSampleBlock) plus the GEMM output
+  // panel (out_f x kSampleBlock).
+  return static_cast<std::size_t>(in_f_ + out_f_) *
+         static_cast<std::size_t>(gemm::kSampleBlock);
 }
 
 // --------------------------------------------- DepthwiseSeparableConv2D
@@ -476,48 +319,11 @@ std::size_t DepthwiseSeparableConv2D::infer_scratch_floats(const Tensor3& input_
          static_cast<std::size_t>(input_shape.height() * input_shape.width());
 }
 
-void DepthwiseSeparableConv2D::infer_batch(const Tensor4& in, Tensor4& out,
-                                           float* scratch) const {
-  assert(in.channels() == in_c_ && out.channels() == out_c_ && scratch != nullptr);
-  const std::int32_t h = in.height(), w = in.width();
-  for (std::int32_t s = 0; s < in.batch(); ++s) {
-    const float* src = in.sample(s);
-    float* dst = out.sample(s);
-
-    // Depthwise into scratch: each channel convolved with its own filter,
-    // same accumulation order as forward() with the border clipping hoisted.
-    for (std::int32_t c = 0; c < in_c_; ++c) {
-      const float* dwt = depth_weights_.value.data() + static_cast<std::size_t>(c * k_ * k_);
-      for (std::int32_t y = 0; y < h; ++y) {
-        const std::int32_t dy_lo = std::max(0, pad_ - y);
-        const std::int32_t dy_hi = std::min(k_, h + pad_ - y);
-        for (std::int32_t x = 0; x < w; ++x) {
-          const std::int32_t dx_lo = std::max(0, pad_ - x);
-          const std::int32_t dx_hi = std::min(k_, w + pad_ - x);
-          float acc = 0.0F;
-          for (std::int32_t dy = dy_lo; dy < dy_hi; ++dy) {
-            const float* in_row = src + (c * h + y + dy - pad_) * w + (x - pad_);
-            const float* w_row = dwt + dy * k_;
-            for (std::int32_t dx = dx_lo; dx < dx_hi; ++dx) acc += w_row[dx] * in_row[dx];
-          }
-          scratch[(c * h + y) * w + x] = acc;
-        }
-      }
-    }
-
-    // Pointwise 1x1 channel mix out of scratch.
-    for (std::int32_t o = 0; o < out_c_; ++o) {
-      const float* pwt = point_weights_.value.data() + static_cast<std::size_t>(o * in_c_);
-      const float b = bias_.value[static_cast<std::size_t>(o)];
-      for (std::int32_t y = 0; y < h; ++y) {
-        for (std::int32_t x = 0; x < w; ++x) {
-          float acc = b;
-          for (std::int32_t c = 0; c < in_c_; ++c) acc += pwt[c] * scratch[(c * h + y) * w + x];
-          dst[(o * h + y) * w + x] = acc;
-        }
-      }
-    }
-  }
+std::size_t DepthwiseSeparableConv2D::train_scratch_floats(const Tensor3& input_shape) const {
+  // The recomputed depthwise intermediate plus its gradient, one sample at
+  // a time.
+  return 2 * static_cast<std::size_t>(in_c_) *
+         static_cast<std::size_t>(input_shape.height() * input_shape.width());
 }
 
 Tensor3 DepthwiseSeparableConv2D::backward(const Tensor3& grad_out) {

@@ -6,6 +6,7 @@
 // pair (the detector), Padding::Same preserves H x W (the localizer).
 #pragma once
 
+#include "nn/gemm.hpp"
 #include "nn/layer.hpp"
 
 namespace dl2f::nn {
@@ -21,6 +22,10 @@ class Conv2D final : public Layer {
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
+  void backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& out,
+                      Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
+                      bool need_input_grad) const override;
+  [[nodiscard]] std::size_t infer_scratch_floats(const Tensor3& input_shape) const override;
   [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
@@ -53,6 +58,9 @@ class MaxPool2D final : public Layer {
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
+  void backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& out,
+                      Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
+                      bool need_input_grad) const override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
 
  private:
@@ -67,6 +75,9 @@ class ReLU final : public Layer {
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
+  void backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& out,
+                      Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
+                      bool need_input_grad) const override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override { return s; }
 
  private:
@@ -79,6 +90,9 @@ class Sigmoid final : public Layer {
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
+  void backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& out,
+                      Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
+                      bool need_input_grad) const override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override { return s; }
 
  private:
@@ -91,6 +105,9 @@ class Flatten final : public Layer {
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
+  void backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& out,
+                      Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
+                      bool need_input_grad) const override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& s) const override {
     return Tensor3(s.channels() * s.height() * s.width(), 1, 1);
   }
@@ -107,6 +124,10 @@ class Dense final : public Layer {
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
+  void backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& out,
+                      Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
+                      bool need_input_grad) const override;
+  [[nodiscard]] std::size_t infer_scratch_floats(const Tensor3& input_shape) const override;
   [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
@@ -129,7 +150,11 @@ class DepthwiseSeparableConv2D final : public Layer {
   Tensor3 forward(const Tensor3& input) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   void infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const override;
+  void backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& out,
+                      Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
+                      bool need_input_grad) const override;
   [[nodiscard]] std::size_t infer_scratch_floats(const Tensor3& input_shape) const override;
+  [[nodiscard]] std::size_t train_scratch_floats(const Tensor3& input_shape) const override;
   [[nodiscard]] std::vector<Param*> params() override {
     return {&depth_weights_, &point_weights_, &bias_};
   }

@@ -1,0 +1,372 @@
+// Batched (GEMM-lowered) compute paths for every layer: infer_batch /
+// forward_batch and backward_batch, split out of layers.cpp so this TU
+// can carry the kernel optimization flags (see CMakeLists.txt) while the
+// per-sample reference forward/backward in layers.cpp keeps the project
+// defaults — the reference must stay the honest pre-GEMM baseline that
+// bench_train measures speedups against. Every function here is bitwise-
+// identical per sample to its layers.cpp reference counterpart; the
+// accumulation-order reasoning lives in nn/gemm.hpp.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nn/layers.hpp"
+
+namespace dl2f::nn {
+
+void Conv2D::infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const {
+  assert(in.channels() == in_c_ && out.channels() == out_c_ && in.batch() == out.batch());
+  // im2col + GEMM lowering: each sample's receptive fields are packed into
+  // a (in_c*k*k) x (oh*ow) panel whose row order is forward()'s exact
+  // (i, dy, dx) tap order, then one cache-blocked GEMM against the weight
+  // matrix produces the sample's full OC x (oh*ow) output plane in place.
+  // The gemm.hpp kernels accumulate the reduction index strictly
+  // ascending per element, so every output scalar is bitwise-identical to
+  // forward() (padding taps pack as 0 and add +/-0 — see gemm.hpp).
+  const std::int32_t oh = out.height(), ow = out.width();
+  const std::int32_t p = oh * ow;
+  const std::int32_t ckk = in_c_ * k_ * k_;
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    gemm::im2col(in.sample(s), in_c_, in.height(), in.width(), k_, pad_, scratch);
+    gemm::gemm_bias(out_c_, p, ckk, weights_.value.data(), ckk, scratch, p, bias_.value.data(),
+                    out.sample(s), p);
+  }
+}
+
+void Conv2D::backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& /*out*/,
+                            Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
+                            bool need_input_grad) const {
+  assert(grad_out.channels() == out_c_ && in.channels() == in_c_ && param_grads.size() == 2);
+  float* const gw = param_grads[0];
+  float* const gb = param_grads[1];
+  const std::int32_t ih = in.height(), iw = in.width();
+  const std::int32_t oh = grad_out.height(), ow = grad_out.width();
+  const std::int32_t p = oh * ow;
+  const float* wt = weights_.value.data();
+
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* g = grad_out.sample(s);
+    const float* src = in.sample(s);
+
+    // Weight + bias gradients, pixels ascending per accumulator (the
+    // reference backward's order) with its g == 0 skip. Dense, wide
+    // gradient planes go through im2row + the skip-zero GEMM; sparse ones
+    // (ReLU/MaxPool upstream zeroes most of the detector's plane) or
+    // narrow filter banks (the localizer's 1-filter head) take the
+    // pack-free direct sweep — both orders are the reference's, so the
+    // per-sample choice cannot change a single bit.
+    const std::int64_t nnz = gemm::nonzero_count(g, static_cast<std::size_t>(out_c_) *
+                                                        static_cast<std::size_t>(p));
+    if (out_c_ >= 4 && nnz * 4 >= static_cast<std::int64_t>(out_c_) * p) {
+      const std::int32_t ckk = in_c_ * k_ * k_;
+      gemm::im2row(src, in_c_, ih, iw, k_, pad_, scratch);
+      gemm::gemm_accumulate_skipzero(out_c_, ckk, p, g, p, scratch, ckk, gw, ckk, gb);
+    } else {
+      gemm::conv_weight_bias_grad_direct(g, src, in_c_, ih, iw, k_, pad_, out_c_, gw, gb);
+    }
+
+    // Input gradient: the transposed-convolution axpy kernel (bitwise the
+    // reference's accumulation order — see gemm.hpp).
+    if (!need_input_grad) continue;
+    gemm::conv_grad_input(g, wt, in_c_, ih, iw, k_, pad_, out_c_, grad_in.sample(s));
+  }
+}
+
+void MaxPool2D::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
+  assert(in.channels() == out.channels() && in.batch() == out.batch());
+  const std::int32_t ih = in.height(), iw = in.width();
+  const std::int32_t oh = out.height(), ow = out.width();
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* src = in.sample(s);
+    float* dst = out.sample(s);
+    for (std::int32_t c = 0; c < out.channels(); ++c) {
+      for (std::int32_t y = 0; y < oh; ++y) {
+        for (std::int32_t x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int32_t dy = 0; dy < pool_; ++dy) {
+            const float* row = src + (c * ih + y * pool_ + dy) * iw + x * pool_;
+            for (std::int32_t dx = 0; dx < pool_; ++dx) {
+              if (row[dx] > best) best = row[dx];
+            }
+          }
+          dst[(c * oh + y) * ow + x] = best;
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2D::backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& out,
+                               Tensor4& grad_in, std::span<float* const> /*param_grads*/,
+                               float* /*scratch*/, bool need_input_grad) const {
+  if (!need_input_grad) return;
+  // Recompute each window's argmax exactly as forward() finds it (strict
+  // > comparison in (dy, dx) order selects the FIRST maximum), then
+  // scatter the output gradient — bitwise-identical to the reference
+  // backward's cached-argmax scatter.
+  const std::int32_t ih = in.height(), iw = in.width();
+  const std::int32_t oh = out.height(), ow = out.width();
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* src = in.sample(s);
+    const float* g = grad_out.sample(s);
+    float* gi = grad_in.sample(s);
+    std::fill(gi, gi + grad_in.sample_size(), 0.0F);
+    for (std::int32_t c = 0; c < in.channels(); ++c) {
+      for (std::int32_t y = 0; y < oh; ++y) {
+        for (std::int32_t x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int32_t best_flat = -1;
+          for (std::int32_t dy = 0; dy < pool_; ++dy) {
+            for (std::int32_t dx = 0; dx < pool_; ++dx) {
+              const std::int32_t iy = y * pool_ + dy;
+              const std::int32_t ix = x * pool_ + dx;
+              const float v = src[(c * ih + iy) * iw + ix];
+              if (v > best) {
+                best = v;
+                best_flat = (c * ih + iy) * iw + ix;
+              }
+            }
+          }
+          // best_flat is -1 only for an all-NaN window (diverged
+          // training); the reference path's cached argmax scatter is an
+          // out-of-bounds write there — drop the gradient instead.
+          if (best_flat >= 0) gi[best_flat] += g[(c * oh + y) * ow + x];
+        }
+      }
+    }
+  }
+}
+
+void ReLU::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
+  assert(in.size() == out.size());
+  const float* src = in.data().data();
+  float* dst = out.data().data();
+  for (std::size_t i = 0; i < in.size(); ++i) dst[i] = std::max(src[i], 0.0F);
+}
+
+void ReLU::backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& /*out*/,
+                          Tensor4& grad_in, std::span<float* const> /*param_grads*/,
+                          float* /*scratch*/, bool need_input_grad) const {
+  if (!need_input_grad) return;
+  const float* g = grad_out.data().data();
+  const float* src = in.data().data();
+  float* gi = grad_in.data().data();
+  const std::size_t n = grad_out.size();
+  for (std::size_t i = 0; i < n; ++i) gi[i] = src[i] <= 0.0F ? 0.0F : g[i];
+}
+
+void Sigmoid::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
+  assert(in.size() == out.size());
+  const float* src = in.data().data();
+  float* dst = out.data().data();
+  for (std::size_t i = 0; i < in.size(); ++i) dst[i] = 1.0F / (1.0F + std::exp(-src[i]));
+}
+
+void Sigmoid::backward_batch(const Tensor4& grad_out, const Tensor4& /*in*/, const Tensor4& out,
+                             Tensor4& grad_in, std::span<float* const> /*param_grads*/,
+                             float* /*scratch*/, bool need_input_grad) const {
+  if (!need_input_grad) return;
+  const float* g = grad_out.data().data();
+  const float* so = out.data().data();
+  float* gi = grad_in.data().data();
+  const std::size_t n = grad_out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float sv = so[i];
+    gi[i] = g[i] * (sv * (1.0F - sv));
+  }
+}
+
+void Flatten::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
+  assert(in.size() == out.size());
+  std::copy(in.data().begin(), in.data().end(), out.data().begin());
+}
+
+void Flatten::backward_batch(const Tensor4& grad_out, const Tensor4& /*in*/,
+                             const Tensor4& /*out*/, Tensor4& grad_in,
+                             std::span<float* const> /*param_grads*/, float* /*scratch*/,
+                             bool need_input_grad) const {
+  if (!need_input_grad) return;
+  assert(grad_out.size() == grad_in.size());
+  std::copy(grad_out.data().begin(), grad_out.data().end(), grad_in.data().begin());
+}
+
+void Dense::infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const {
+  assert(static_cast<std::int32_t>(in.sample_size()) == in_f_ && out.channels() == out_f_);
+  // Sample-panel GEMM: up to kSampleBlock samples are transposed into a
+  // (in_f x panel) matrix so the kernel's innermost loop runs across
+  // samples; per (output, sample) element the features still accumulate
+  // in forward()'s ascending-i order, bitwise-identical per sample.
+  const float* wt = weights_.value.data();
+  float* const xt = scratch;                                            // in_f x panel
+  float* const cp = scratch + static_cast<std::size_t>(in_f_) *
+                                  static_cast<std::size_t>(gemm::kSampleBlock);  // out_f x panel
+  for (std::int32_t s0 = 0; s0 < in.batch(); s0 += gemm::kSampleBlock) {
+    const std::int32_t bn = std::min(gemm::kSampleBlock, in.batch() - s0);
+    for (std::int32_t t = 0; t < bn; ++t) {
+      const float* src = in.sample(s0 + t);
+      for (std::int32_t i = 0; i < in_f_; ++i) xt[static_cast<std::size_t>(i) * bn + t] = src[i];
+    }
+    gemm::gemm_bias(out_f_, bn, in_f_, wt, in_f_, xt, bn, bias_.value.data(), cp, bn);
+    for (std::int32_t t = 0; t < bn; ++t) {
+      float* dst = out.sample(s0 + t);
+      for (std::int32_t o = 0; o < out_f_; ++o) dst[o] = cp[static_cast<std::size_t>(o) * bn + t];
+    }
+  }
+}
+
+void Dense::backward_batch(const Tensor4& grad_out, const Tensor4& in, const Tensor4& /*out*/,
+                           Tensor4& grad_in, std::span<float* const> param_grads,
+                           float* /*scratch*/, bool need_input_grad) const {
+  assert(grad_out.channels() == out_f_ && param_grads.size() == 2);
+  float* const gw = param_grads[0];
+  float* const gb = param_grads[1];
+  const float* wt = weights_.value.data();
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* g = grad_out.sample(s);
+    const float* x = in.sample(s);
+    float* gi = need_input_grad ? grad_in.sample(s) : nullptr;
+    if (gi != nullptr) std::fill(gi, gi + grad_in.sample_size(), 0.0F);
+    for (std::int32_t o = 0; o < out_f_; ++o) {
+      const float gv = g[o];
+      gb[o] += gv;
+      float* __restrict gw_row = gw + static_cast<std::size_t>(o) * static_cast<std::size_t>(in_f_);
+      const float* __restrict w_row = wt + static_cast<std::size_t>(o) * static_cast<std::size_t>(in_f_);
+      for (std::int32_t i = 0; i < in_f_; ++i) gw_row[i] += gv * x[i];
+      if (gi != nullptr) {
+        for (std::int32_t i = 0; i < in_f_; ++i) gi[i] += gv * w_row[i];
+      }
+    }
+  }
+}
+
+void DepthwiseSeparableConv2D::infer_batch(const Tensor4& in, Tensor4& out,
+                                           float* scratch) const {
+  assert(in.channels() == in_c_ && out.channels() == out_c_ && scratch != nullptr);
+  const std::int32_t h = in.height(), w = in.width();
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* src = in.sample(s);
+    float* dst = out.sample(s);
+
+    // Depthwise into scratch: each channel convolved with its own filter,
+    // same accumulation order as forward() with the border clipping hoisted.
+    for (std::int32_t c = 0; c < in_c_; ++c) {
+      const float* dwt = depth_weights_.value.data() + static_cast<std::size_t>(c * k_ * k_);
+      for (std::int32_t y = 0; y < h; ++y) {
+        const std::int32_t dy_lo = std::max(0, pad_ - y);
+        const std::int32_t dy_hi = std::min(k_, h + pad_ - y);
+        for (std::int32_t x = 0; x < w; ++x) {
+          const std::int32_t dx_lo = std::max(0, pad_ - x);
+          const std::int32_t dx_hi = std::min(k_, w + pad_ - x);
+          float acc = 0.0F;
+          for (std::int32_t dy = dy_lo; dy < dy_hi; ++dy) {
+            const float* in_row = src + (c * h + y + dy - pad_) * w + (x - pad_);
+            const float* w_row = dwt + dy * k_;
+            for (std::int32_t dx = dx_lo; dx < dx_hi; ++dx) acc += w_row[dx] * in_row[dx];
+          }
+          scratch[(c * h + y) * w + x] = acc;
+        }
+      }
+    }
+
+    // Pointwise 1x1 channel mix out of scratch.
+    for (std::int32_t o = 0; o < out_c_; ++o) {
+      const float* pwt = point_weights_.value.data() + static_cast<std::size_t>(o * in_c_);
+      const float b = bias_.value[static_cast<std::size_t>(o)];
+      for (std::int32_t y = 0; y < h; ++y) {
+        for (std::int32_t x = 0; x < w; ++x) {
+          float acc = b;
+          for (std::int32_t c = 0; c < in_c_; ++c) acc += pwt[c] * scratch[(c * h + y) * w + x];
+          dst[(o * h + y) * w + x] = acc;
+        }
+      }
+    }
+  }
+}
+
+void DepthwiseSeparableConv2D::backward_batch(const Tensor4& grad_out, const Tensor4& in,
+                                              const Tensor4& /*out*/, Tensor4& grad_in,
+                                              std::span<float* const> param_grads, float* scratch,
+                                              bool need_input_grad) const {
+  assert(param_grads.size() == 3);
+  float* const gdw = param_grads[0];
+  float* const gpw = param_grads[1];
+  float* const gb = param_grads[2];
+  const std::int32_t h = in.height(), w = in.width();
+  const std::size_t chw = static_cast<std::size_t>(in_c_) * static_cast<std::size_t>(h * w);
+  float* const depth = scratch;             // recomputed depthwise intermediate
+  float* const grad_depth = scratch + chw;  // dLoss/d(depth)
+
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* src = in.sample(s);
+    const float* g = grad_out.sample(s);
+
+    // Recompute the depthwise intermediate (bitwise equal to the forward
+    // pass — same taps, same order as infer_batch's depthwise stage).
+    for (std::int32_t c = 0; c < in_c_; ++c) {
+      const float* dwt = depth_weights_.value.data() + static_cast<std::size_t>(c * k_ * k_);
+      for (std::int32_t y = 0; y < h; ++y) {
+        const std::int32_t dy_lo = std::max(0, pad_ - y);
+        const std::int32_t dy_hi = std::min(k_, h + pad_ - y);
+        for (std::int32_t x = 0; x < w; ++x) {
+          const std::int32_t dx_lo = std::max(0, pad_ - x);
+          const std::int32_t dx_hi = std::min(k_, w + pad_ - x);
+          float acc = 0.0F;
+          for (std::int32_t dy = dy_lo; dy < dy_hi; ++dy) {
+            const float* in_row = src + (c * h + y + dy - pad_) * w + (x - pad_);
+            const float* w_row = dwt + dy * k_;
+            for (std::int32_t dx = dx_lo; dx < dx_hi; ++dx) acc += w_row[dx] * in_row[dx];
+          }
+          depth[(c * h + y) * w + x] = acc;
+        }
+      }
+    }
+
+    // Pointwise backward (reference loop order).
+    std::fill(grad_depth, grad_depth + chw, 0.0F);
+    for (std::int32_t o = 0; o < out_c_; ++o) {
+      const float* pwt = point_weights_.value.data() + static_cast<std::size_t>(o * in_c_);
+      float* gpw_row = gpw + static_cast<std::size_t>(o * in_c_);
+      for (std::int32_t y = 0; y < h; ++y) {
+        for (std::int32_t x = 0; x < w; ++x) {
+          const float gv = g[(o * h + y) * w + x];
+          if (gv == 0.0F) continue;
+          gb[o] += gv;
+          for (std::int32_t c = 0; c < in_c_; ++c) {
+            gpw_row[c] += gv * depth[(c * h + y) * w + x];
+            grad_depth[(c * h + y) * w + x] += gv * pwt[c];
+          }
+        }
+      }
+    }
+
+    // Depthwise backward (reference loop order, borders hoisted).
+    float* gi = need_input_grad ? grad_in.sample(s) : nullptr;
+    if (gi != nullptr) std::fill(gi, gi + grad_in.sample_size(), 0.0F);
+    for (std::int32_t c = 0; c < in_c_; ++c) {
+      const float* dwt = depth_weights_.value.data() + static_cast<std::size_t>(c * k_ * k_);
+      float* gdw_row = gdw + static_cast<std::size_t>(c * k_ * k_);
+      for (std::int32_t y = 0; y < h; ++y) {
+        const std::int32_t dy_lo = std::max(0, pad_ - y);
+        const std::int32_t dy_hi = std::min(k_, h + pad_ - y);
+        for (std::int32_t x = 0; x < w; ++x) {
+          const float gv = grad_depth[(c * h + y) * w + x];
+          if (gv == 0.0F) continue;
+          const std::int32_t dx_lo = std::max(0, pad_ - x);
+          const std::int32_t dx_hi = std::min(k_, w + pad_ - x);
+          for (std::int32_t dy = dy_lo; dy < dy_hi; ++dy) {
+            const float* in_row = src + (c * h + y + dy - pad_) * w + (x - pad_);
+            float* gi_row = gi == nullptr ? nullptr : gi + (c * h + y + dy - pad_) * w + (x - pad_);
+            const float* w_row = dwt + dy * k_;
+            float* gdw_krow = gdw_row + dy * k_;
+            for (std::int32_t dx = dx_lo; dx < dx_hi; ++dx) {
+              gdw_krow[dx] += gv * in_row[dx];
+              if (gi_row != nullptr) gi_row[dx] += gv * w_row[dx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dl2f::nn

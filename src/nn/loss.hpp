@@ -30,4 +30,22 @@ struct LossResult {
 [[nodiscard]] double dice_score(const Tensor3& prediction, const Tensor3& target,
                                 float threshold = 0.5F);
 
+// Raw-buffer variants for the batched training path: same math as the
+// Tensor3 versions, operating on `n` contiguous floats with the gradient
+// written into a caller-owned slot (a nn::Tensor4 loss-grad sample) —
+// no allocation on the training hot path.
+
+/// Mean weighted BCE over n elements; writes dLoss/dPred into grad.
+[[nodiscard]] float bce_loss_into(const float* prediction, const float* target, std::size_t n,
+                                  float positive_weight, float* grad);
+
+/// Soft Dice loss over n elements; ADDS weight * dLoss/dPred into grad
+/// (the localizer combines it with a BCE gradient already staged there).
+[[nodiscard]] float dice_loss_add(const float* prediction, const float* target, std::size_t n,
+                                  float weight, float* grad);
+
+/// Dice coefficient of binarized prediction vs binary target.
+[[nodiscard]] double dice_score_raw(const float* prediction, const float* target, std::size_t n,
+                                    float threshold = 0.5F);
+
 }  // namespace dl2f::nn

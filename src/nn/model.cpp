@@ -1,5 +1,6 @@
 #include "nn/model.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include "nn/inference.hpp"
 #include <fstream>
@@ -32,6 +33,63 @@ const Tensor4& Sequential::infer_batch(InferenceContext& ctx) const {
     layers_[l]->infer_batch(ctx.acts_[l], ctx.acts_[l + 1], ctx.scratch_.data());
   }
   return ctx.acts_.back();
+}
+
+const Tensor4& Sequential::forward_batch(InferenceContext& ctx) const {
+  assert(ctx.train_bound());
+  return infer_batch(ctx);
+}
+
+void Sequential::backward_batch(InferenceContext& ctx, GradientBuffer& grads) const {
+  assert(ctx.model() == this && ctx.train_bound());
+  const std::int32_t n = ctx.acts_.front().batch();
+  assert(ctx.grads_.back().batch() == n);
+  // Per-layer views into the flat gradient-block list (params() order).
+  std::size_t block = grads.blocks.size();
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    Layer& layer = *layers_[l];
+    const std::size_t nparams = layer.params().size();
+    assert(block >= nparams);
+    block -= nparams;
+    float* param_ptrs[4] = {nullptr, nullptr, nullptr, nullptr};
+    assert(nparams <= 4);
+    for (std::size_t j = 0; j < nparams; ++j) param_ptrs[j] = grads.blocks[block + j].data();
+    ctx.grads_[l].set_batch(n);
+    layer.backward_batch(ctx.grads_[l + 1], ctx.acts_[l], ctx.acts_[l + 1], ctx.grads_[l],
+                         std::span<float* const>(param_ptrs, nparams), ctx.scratch_.data(),
+                         /*need_input_grad=*/l > 0);
+  }
+  assert(block == 0);
+}
+
+void GradientBuffer::bind(const Sequential& model) {
+  const auto params = model.params();
+  blocks.clear();
+  blocks.reserve(params.size());
+  for (const Param* p : params) blocks.emplace_back(p->size(), 0.0F);
+}
+
+void GradientBuffer::zero() {
+  for (auto& b : blocks) std::fill(b.begin(), b.end(), 0.0F);
+}
+
+void GradientBuffer::add(const GradientBuffer& other) {
+  assert(blocks.size() == other.blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    assert(blocks[i].size() == other.blocks[i].size());
+    float* __restrict dst = blocks[i].data();
+    const float* __restrict src = other.blocks[i].data();
+    for (std::size_t j = 0; j < blocks[i].size(); ++j) dst[j] += src[j];
+  }
+}
+
+void GradientBuffer::store(Sequential& model) const {
+  const auto params = model.params();
+  assert(params.size() == blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    assert(params[i]->grad.size() == blocks[i].size());
+    std::copy(blocks[i].begin(), blocks[i].end(), params[i]->grad.begin());
+  }
 }
 
 void Sequential::init_weights(Rng& rng) {

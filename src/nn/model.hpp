@@ -11,6 +11,24 @@
 namespace dl2f::nn {
 
 class InferenceContext;
+class Sequential;
+
+/// Caller-owned parameter-gradient storage, one float block per
+/// Sequential::params() entry. The unit of the deterministic data-parallel
+/// reduction: each training slice accumulates into its own buffer and the
+/// trainer adds buffers in fixed slice order (nn/train.hpp), so trained
+/// weights never depend on the worker count.
+struct GradientBuffer {
+  std::vector<std::vector<float>> blocks;
+
+  /// Size the blocks to `model`'s parameter layout (zero-filled).
+  void bind(const Sequential& model);
+  void zero();
+  /// Element-wise `this += other` (same layout required).
+  void add(const GradientBuffer& other);
+  /// Copy the blocks into the model's Param::grad slots (overwrites).
+  void store(Sequential& model) const;
+};
 
 class Sequential {
  public:
@@ -42,6 +60,22 @@ class Sequential {
   /// last layer's activations (valid until the context is next used).
   /// Bitwise-identical per sample to forward().
   const Tensor4& infer_batch(InferenceContext& ctx) const;
+
+  /// The batched training forward: identical compute to infer_batch (both
+  /// are bitwise-identical per sample to forward()); the name marks the
+  /// training flow, which keeps every layer activation in the context for
+  /// backward_batch. Requires a bind_train'd context.
+  const Tensor4& forward_batch(InferenceContext& ctx) const;
+
+  /// Const, allocation-free batched backprop. Expects forward_batch to
+  /// have just run on `ctx` and ctx.loss_grad() to hold dLoss/dOut for the
+  /// active batch. Accumulates parameter gradients into `grads` (bound to
+  /// this model), samples in ascending order — bitwise-identical to
+  /// running backward() per sample sequentially. The first layer's input
+  /// gradient is not computed (no consumer). Layer members are never
+  /// touched, so any number of workers may run this concurrently against
+  /// one shared model, each with its own context and gradient buffer.
+  void backward_batch(InferenceContext& ctx, GradientBuffer& grads) const;
 
   void init_weights(Rng& rng);
   [[nodiscard]] std::vector<Param*> params();

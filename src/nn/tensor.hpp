@@ -1,14 +1,16 @@
 // Dense tensors for the CNN stack.
 //
-// Tensor3 is one CHW sample. The two DL2Fence models are tiny (<= 3 conv
-// layers, 8 kernels), so training processes one sample at a time and
-// mini-batches by accumulating parameter gradients across samples before
-// an optimizer step — every layer's forward/backward stays a direct
-// transcription of its math.
+// Tensor3 is one CHW sample — the currency of the retained per-sample
+// reference path (Layer::forward/backward), which stays a direct
+// transcription of each layer's math and serves as the bitwise golden
+// reference for the batched paths.
 //
-// Tensor4 is an NCHW batch of same-shaped samples, the unit the const
-// inference path scores: monitoring windows are packed into one Tensor4
-// and pushed through Sequential::infer_batch without allocating.
+// Tensor4 is an NCHW batch of same-shaped samples, the unit ALL
+// production compute moves in: the const inference path packs monitoring
+// windows into one Tensor4 and pushes them through
+// Sequential::infer_batch without allocating, and the batched trainer
+// (nn/train.hpp) packs minibatches the same way for
+// forward_batch/backward_batch through the GEMM backend (nn/gemm.hpp).
 #pragma once
 
 #include <cassert>

@@ -115,10 +115,12 @@ ModelSnapshot train_model_snapshot(const MeshShape& mesh,
   core::TrainConfig det_cfg;
   det_cfg.epochs = preset.detector_epochs;
   det_cfg.seed = preset.seed ^ 0x42;
+  det_cfg.threads = preset.threads;
   core::train_detector(fence.detector(), data, det_cfg);
   core::LocalizerTrainConfig loc_cfg;
   loc_cfg.epochs = preset.localizer_epochs;
   loc_cfg.seed = preset.seed ^ 0x43;
+  loc_cfg.threads = preset.threads;
   core::train_localizer(fence.localizer(), data, loc_cfg);
   return ModelSnapshot::capture(fence);
 }

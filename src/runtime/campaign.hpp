@@ -49,6 +49,10 @@ struct TrainPreset {
   std::int32_t detector_epochs = 50;
   std::int32_t localizer_epochs = 25;
   std::uint64_t seed = 0x5eedULL;
+  /// Data-parallel training workers (nn::batch_train). The snapshot's
+  /// weights are byte-identical for a given seed at any thread count, so
+  /// this only trades wall-clock — campaigns stay reproducible.
+  std::int32_t threads = 1;
 };
 
 /// Simulate, train and freeze a detector/localizer pair for `mesh` on the
