@@ -1,53 +1,135 @@
 // Adaptive-attacker robustness matrix: evasive FDoS families × the full
 // benign-workload grid (6 synthetic patterns + 3 PARSEC workloads).
 //
-// Trains one model snapshot, then sweeps a three-axis campaign
-// (family × workload × seed) — the static family rides along as the
-// non-adaptive control — and aggregates it into a RobustnessReport:
-// detection accuracy/F1, localization F1, time-to-mitigate and recovery
-// per (family × workload) cell. The evasive families are the first
-// workload where the detector is *expected* to partially fail; the
-// report's blind-spot list is the artifact that shows where.
+// Trains one model snapshot — by default including the temporal sequence
+// head, adversarially retrained on the full family mix (src/temporal) —
+// then sweeps a three-axis campaign (family × workload × seed); the static
+// family rides along as the non-adaptive control. Results aggregate into a
+// RobustnessReport: detection accuracy/F1, localization F1,
+// time-to-mitigate and recovery per (family × workload) cell, with the
+// blind-spot list as the headline artifact.
 //
 // The campaign is re-run at 1/2/4 worker threads and the process exits
 // non-zero if any width diverges from the 1-thread byte dump (the
 // determinism contract now spans the three-axis grid).
 //
 // Output: human-readable matrix + per-cell table on stdout, plus
-// machine-readable BENCH_robustness.json. Pass --quick for the CI preset;
-// DL2F_BENCH_SCALE=paper widens the seed axis.
+// machine-readable BENCH_robustness.json. Flags:
+//   --quick               CI preset (smaller training, 1 seed, 6 windows)
+//   --no-temporal         single-window detector only (the pre-temporal
+//                         baseline; reproduces the original blind spots)
+//   --families=a,b,...    run only these scenario families
+//   --workloads=a,b,...   run only these benign workloads (by name)
+// The family/workload filters reproduce one matrix cell without paying
+// for the full 5x9 sweep. DL2F_BENCH_SCALE=paper widens the seed axis.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "runtime/robustness.hpp"
 
 using namespace dl2f;
 
+namespace {
+
+std::vector<std::string> split_csv(std::string_view csv) {
+  std::vector<std::string> out;
+  while (!csv.empty()) {
+    const auto comma = csv.find(',');
+    const auto item = csv.substr(0, comma);
+    if (!item.empty()) out.emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    csv.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool quick = false;
+  bool temporal = true;
+  std::vector<std::string> family_filter;
+  std::vector<std::string> workload_filter;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--quick") quick = true;
+    const std::string_view arg(argv[i]);
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--no-temporal") {
+      temporal = false;
+    } else if (arg.starts_with("--families=")) {
+      family_filter = split_csv(arg.substr(std::string_view("--families=").size()));
+    } else if (arg.starts_with("--workloads=")) {
+      workload_filter = split_csv(arg.substr(std::string_view("--workloads=").size()));
+    } else {
+      std::cerr << "unknown flag: " << arg
+                << " (expected --quick, --no-temporal, --families=..., --workloads=...)\n";
+      return 2;
+    }
   }
   const char* scale = std::getenv("DL2F_BENCH_SCALE");
   const bool paper = scale != nullptr && std::string_view(scale) == "paper";
 
   const MeshShape mesh = MeshShape::square(8);
-  const std::vector<monitor::Benchmark> workloads = monitor::all_benchmarks();
+
+  // Grid axes, before filtering: static control + the evasive families,
+  // against every benchmark workload.
+  std::vector<std::string> families = {"static"};
+  for (const auto& f : runtime::evasive_scenario_families()) families.push_back(f);
+  std::vector<monitor::Benchmark> workloads = monitor::all_benchmarks();
+
+  if (!family_filter.empty()) {
+    for (const auto& f : family_filter) {
+      if (std::find(families.begin(), families.end(), f) == families.end()) {
+        std::cerr << "--families: unknown family '" << f << "' (have:";
+        for (const auto& known : families) std::cerr << ' ' << known;
+        std::cerr << ")\n";
+        return 2;
+      }
+    }
+    families = family_filter;
+  }
+  if (!workload_filter.empty()) {
+    std::vector<monitor::Benchmark> picked;
+    for (const auto& name : workload_filter) {
+      const auto it = std::find_if(workloads.begin(), workloads.end(),
+                                   [&](const auto& w) { return w.name() == name; });
+      if (it == workloads.end()) {
+        std::cerr << "--workloads: unknown workload '" << name << "' (have:";
+        for (const auto& w : workloads) std::cerr << ' ' << w.name();
+        std::cerr << ")\n";
+        return 2;
+      }
+      picked.push_back(*it);
+    }
+    workloads = std::move(picked);
+  }
 
   // One snapshot for the whole matrix, trained across a workload mix so
   // the model has seen synthetic and PARSEC-like statistics (training on
   // one pattern and scoring on nine would measure transfer, not
-  // robustness).
-  std::cout << "Training the shared model snapshot...\n";
+  // robustness). The temporal head trains on the adversarial sequence
+  // grid over the same mix.
+  std::cout << "Training the shared model snapshot" << (temporal ? " (+temporal head)" : "")
+            << "...\n";
   runtime::TrainPreset preset;
+  preset.temporal = temporal;
+  // The sequence head must see every workload's benign rhythm — always the
+  // full benchmark list, independent of --workloads filtering, so a
+  // filtered run reproduces the full run's snapshot bit-for-bit.
+  preset.temporal_benigns = monitor::all_benchmarks();
   if (quick) {
     preset.scenarios = 4;
     preset.detector_epochs = 20;
     preset.localizer_epochs = 10;
+    preset.temporal_epochs = 15;
+    preset.temporal_runs_per_cell = 1;
   }
   const std::vector<monitor::Benchmark> train_mix{
       monitor::Benchmark{traffic::SyntheticPattern::UniformRandom},
@@ -56,8 +138,7 @@ int main(int argc, char** argv) {
   const runtime::ModelSnapshot model = runtime::train_model_snapshot(mesh, train_mix, preset);
 
   runtime::CampaignConfig cfg;
-  cfg.families = {"static"};  // non-adaptive control row
-  for (const auto& f : runtime::evasive_scenario_families()) cfg.families.push_back(f);
+  cfg.families = families;
   cfg.workloads = workloads;
   cfg.seeds = paper   ? std::vector<std::uint64_t>{1, 2, 3, 4}
               : quick ? std::vector<std::uint64_t>{1}
@@ -116,6 +197,7 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"bench\": \"robustness\",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"temporal\": " << (temporal ? "true" : "false") << ",\n"
        << "  \"mesh\": " << mesh.rows() << ",\n"
        << "  \"seeds\": " << cfg.seeds.size() << ",\n"
        << "  \"windows\": " << cfg.windows << ",\n"

@@ -13,13 +13,20 @@ Baseline format:
     {
       "threshold_ratio": 0.75,
       "benches": {
-        "<bench artifact>.json": {"dotted.metric.path": <reference>, ...}
+        "<bench artifact>.json": {
+          "dotted.metric.path": <reference>,
+          "dotted.count.path": {"max": <ceiling>},
+          ...
+        }
       }
     }
 
 Metric paths are dot-separated keys into the bench JSON ("batch_wps.32"
-reads obj["batch_wps"]["32"]). All tracked metrics are
-higher-is-better throughputs.
+reads obj["batch_wps"]["32"]). A plain numeric reference is a
+higher-is-better throughput floored at threshold_ratio * reference; a
+{"max": N} entry is a lower-is-better count with a HARD ceiling of N
+(no derating — e.g. blind_spots, where a regression that reopens
+detector blind spots must fail CI outright).
 """
 import json
 import sys
@@ -56,9 +63,19 @@ def main():
             if not isinstance(value, (int, float)):
                 failures.append(f"{bench_file}:{path}: metric missing from artifact")
                 continue
+            if isinstance(reference, dict) and "max" in reference:
+                # Lower-is-better count with a hard ceiling, no derating.
+                ceiling = float(reference["max"])
+                ok = value <= ceiling
+                rows.append((bench_file, path, "max", ceiling, float(value), ok))
+                if not ok:
+                    failures.append(
+                        f"{bench_file}:{path}: {value:.0f} > ceiling {ceiling:.0f}"
+                    )
+                continue
             floor = threshold * float(reference)
             ok = value >= floor
-            rows.append((bench_file, path, float(reference), floor, float(value), ok))
+            rows.append((bench_file, path, "min", floor, float(value), ok))
             if not ok:
                 failures.append(
                     f"{bench_file}:{path}: {value:.1f} < floor {floor:.1f} "
@@ -66,11 +83,13 @@ def main():
                 )
 
     name_w = max((len(f"{b}:{p}") for b, p, *_ in rows), default=20)
-    print(f"bench-regression gate (floor = {threshold:.0%} of reference)")
-    for bench_file, path, reference, floor, value, ok in rows:
+    print(f"bench-regression gate (floor = {threshold:.0%} of reference; "
+          f"'max' entries are hard ceilings)")
+    for bench_file, path, kind, bound, value, ok in rows:
         name = f"{bench_file}:{path}"
         verdict = "ok" if ok else "REGRESSION"
-        print(f"  {name:<{name_w}}  ref {reference:>12.1f}  floor {floor:>12.1f}  "
+        bound_label = "ceil " if kind == "max" else "floor"
+        print(f"  {name:<{name_w}}  {bound_label} {bound:>12.1f}  "
               f"got {value:>12.1f}  {verdict}")
 
     if failures:

@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cstdint>
 #include <random>
+#include <string_view>
 
 namespace dl2f {
 
@@ -21,6 +22,19 @@ namespace dl2f {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+/// FNV-1a over a string — turns grid-axis names (scenario family, workload)
+/// into seed material. Shared for the same reason as mix64: the campaign
+/// runner and the adversarial sequence-dataset generator must derive the
+/// SAME per-cell seed from the same (family, workload) coordinates.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 /// Thin wrapper over a 64-bit Mersenne Twister with convenience draws.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <istream>
+#include <iterator>
 #include <stdexcept>
 
 namespace dl2f::core {
@@ -9,6 +10,10 @@ namespace dl2f::core {
 PipelineEngine::PipelineEngine(const Dl2FenceConfig& cfg)
     : cfg_(cfg), geom_(cfg.detector.mesh), detector_(cfg.detector), localizer_(cfg.localizer) {
   assert(cfg.detector.mesh == cfg.localizer.mesh);
+  if (cfg.enable_temporal) {
+    assert(cfg.temporal.mesh == cfg.detector.mesh);
+    temporal_.emplace(cfg.temporal);
+  }
 }
 
 PipelineEngine::PipelineEngine(const Dl2FenceConfig& cfg, std::istream& detector_weights,
@@ -21,11 +26,26 @@ PipelineEngine::PipelineEngine(const Dl2FenceConfig& cfg, std::istream& detector
   }
 }
 
+PipelineEngine::PipelineEngine(const Dl2FenceConfig& cfg, std::istream& detector_weights,
+                               std::istream& localizer_weights, std::istream& temporal_weights)
+    : PipelineEngine(cfg, detector_weights, localizer_weights) {
+  if (!temporal_.has_value()) {
+    throw std::runtime_error(
+        "PipelineEngine: temporal weights supplied but cfg.enable_temporal is false");
+  }
+  if (!temporal_->model().load(temporal_weights)) {
+    throw std::runtime_error("PipelineEngine: temporal weight blob does not match the architecture");
+  }
+}
+
 PipelineSession::PipelineSession(const PipelineEngine& engine, std::int32_t max_batch)
     : engine_(&engine), max_batch_(std::max(max_batch, 1)) {
   detector_ctx_.bind(engine.detector().model(), engine.detector().input_shape(), max_batch_);
   localizer_ctx_.bind(engine.localizer().model(), engine.localizer().input_shape(),
                       static_cast<std::int32_t>(kNumMeshDirections));
+  if (engine.has_temporal()) {
+    temporal_ctx_.bind(engine.temporal().model(), engine.temporal().input_shape(), 1);
+  }
 }
 
 void PipelineSession::localize_into(const monitor::FrameSample& sample, RoundResult& r) {
@@ -105,6 +125,49 @@ std::vector<float> PipelineSession::detect_batch(monitor::WindowBatch samples) {
     detect_chunk(samples.subspan(base, n), base, probs);
   }
   return probs;
+}
+
+float PipelineSession::detect_sequence(monitor::SequenceView seq) {
+  const temporal::TemporalDetector& head = engine_->temporal();
+  nn::Tensor4& in = temporal_ctx_.input(1);
+  head.preprocess_into(seq, in, 0);
+  return head.model().infer_batch(temporal_ctx_).sample(0)[0];
+}
+
+RoundResult PipelineSession::process_sequence(monitor::SequenceView seq) {
+  assert(!seq.empty());
+  const monitor::FrameSample& newest = *seq.back();
+  if (!engine_->has_temporal()) return process(newest);
+
+  const DoSDetector& detector = engine_->detector();
+  nn::Tensor4& in = detector_ctx_.input(1);
+  detector.preprocess_into(newest, in, 0);
+  RoundResult r;
+  r.probability = detector.model().infer_batch(detector_ctx_).sample(0)[0];
+  const bool single = r.probability > engine_->config().detector.threshold;
+
+  const temporal::TemporalDetectorConfig& tcfg = engine_->config().temporal;
+  r.sequence_probability = detect_sequence(seq);
+  const bool sequence = r.sequence_probability > tcfg.threshold;
+
+  if (single || sequence) {
+    localize_into(newest, r);
+    if (sequence) {
+      // Colluding assist: sources whose sequence-mean injection demand
+      // stands out get named alongside the TLM's verdict (the TLM sees
+      // only saturated links, which collusion avoids by design).
+      r.source_suspects = temporal::source_suspects(seq, tcfg.mesh, tcfg.suspects);
+      if (!r.source_suspects.empty()) {
+        std::vector<NodeId> merged;
+        merged.reserve(r.tlm.attackers.size() + r.source_suspects.size());
+        std::set_union(r.tlm.attackers.begin(), r.tlm.attackers.end(),
+                       r.source_suspects.begin(), r.source_suspects.end(),
+                       std::back_inserter(merged));
+        r.tlm.attackers = std::move(merged);
+      }
+    }
+  }
+  return r;
 }
 
 RoundResult PipelineSession::localize(const monitor::FrameSample& sample) {

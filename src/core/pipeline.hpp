@@ -52,6 +52,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 
 #include "core/detector.hpp"
 #include "core/fusion.hpp"
@@ -59,6 +60,7 @@
 #include "core/tlm.hpp"
 #include "core/vce.hpp"
 #include "nn/inference.hpp"
+#include "temporal/detector.hpp"
 
 namespace dl2f::core {
 
@@ -67,6 +69,13 @@ struct Dl2FenceConfig {
   LocalizerConfig localizer;  ///< default feature: BOC (Table 3 combination)
   bool enable_vce = true;     ///< Victim Complementing Enhancement (optional)
 
+  /// Temporal sequence head (src/temporal): classifies the last
+  /// `temporal.sequence_length` windows jointly, catching the evasive
+  /// families the single-window detector is blind to. Off by default —
+  /// the paper's pipeline is single-window.
+  bool enable_temporal = false;
+  temporal::TemporalDetectorConfig temporal;
+
   /// Defaults matching the paper's chosen VCO + BOC configuration.
   static Dl2FenceConfig paper_default(const MeshShape& mesh) {
     Dl2FenceConfig cfg;
@@ -74,6 +83,7 @@ struct Dl2FenceConfig {
     cfg.detector.feature = Feature::Vco;
     cfg.localizer.mesh = mesh;
     cfg.localizer.feature = Feature::Boc;
+    cfg.temporal.mesh = mesh;
     return cfg;
   }
 };
@@ -85,6 +95,14 @@ struct RoundResult {
   FusionResult fusion;         ///< MFF over the segmented frames
   std::vector<NodeId> victims; ///< fused victims, VCE-completed if enabled
   TlmResult tlm;               ///< attackers and target victims
+
+  /// Temporal head sigmoid over the window sequence (0 when the engine has
+  /// no temporal head or the round was single-window).
+  float sequence_probability = 0.0F;
+  /// Colluding-source assist: nodes whose sequence-mean injection demand
+  /// stood out (temporal::source_suspects); already unioned into
+  /// tlm.attackers. Empty on single-window rounds.
+  std::vector<NodeId> source_suspects;
 };
 
 /// The immutable half: trained detector + localizer weights and geometry.
@@ -104,20 +122,37 @@ class PipelineEngine {
   PipelineEngine(const Dl2FenceConfig& cfg, std::istream& detector_weights,
                  std::istream& localizer_weights);
 
+  /// Trained engine including the temporal head (cfg.enable_temporal must
+  /// be set). Throws std::runtime_error when a blob does not match.
+  PipelineEngine(const Dl2FenceConfig& cfg, std::istream& detector_weights,
+                 std::istream& localizer_weights, std::istream& temporal_weights);
+
   [[nodiscard]] const Dl2FenceConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const monitor::FrameGeometry& geometry() const noexcept { return geom_; }
   [[nodiscard]] const DoSDetector& detector() const noexcept { return detector_; }
   [[nodiscard]] const DoSLocalizer& localizer() const noexcept { return localizer_; }
 
+  /// True when cfg.enable_temporal constructed a temporal sequence head.
+  [[nodiscard]] bool has_temporal() const noexcept { return temporal_.has_value(); }
+  [[nodiscard]] const temporal::TemporalDetector& temporal() const noexcept {
+    assert(temporal_.has_value());
+    return *temporal_;
+  }
+
   /// Training-flow escape hatches; never call while sessions are scoring.
   [[nodiscard]] DoSDetector& mutable_detector() noexcept { return detector_; }
   [[nodiscard]] DoSLocalizer& mutable_localizer() noexcept { return localizer_; }
+  [[nodiscard]] temporal::TemporalDetector& mutable_temporal() noexcept {
+    assert(temporal_.has_value());
+    return *temporal_;
+  }
 
  private:
   Dl2FenceConfig cfg_;
   monitor::FrameGeometry geom_;
   DoSDetector detector_;
   DoSLocalizer localizer_;
+  std::optional<temporal::TemporalDetector> temporal_;
 };
 
 /// The mutable half: per-thread scratch for scoring windows against one
@@ -148,6 +183,19 @@ class PipelineSession {
   /// Detector probabilities only (no localization), batched.
   [[nodiscard]] std::vector<float> detect_batch(monitor::WindowBatch samples);
 
+  /// Sequence-aware round: the newest window runs through the single-window
+  /// detector as usual AND the whole sequence (sequence_length windows,
+  /// oldest first — typically a WindowHistory view) runs through the
+  /// temporal head; detection is the OR of the two verdicts. On a temporal
+  /// detection the cross-source suspect set is unioned into tlm.attackers
+  /// (colluding sources rarely saturate any single link, so the
+  /// segmentation TLM alone cannot name them). Falls back to a plain
+  /// single-window round when the engine has no temporal head.
+  [[nodiscard]] RoundResult process_sequence(monitor::SequenceView seq);
+
+  /// Temporal-head probability only. Engine must have a temporal head.
+  [[nodiscard]] float detect_sequence(monitor::SequenceView seq);
+
   /// Localization only (used when scoring the localizer independently of
   /// detector verdicts, as the per-feature Tables 1-2 do).
   [[nodiscard]] RoundResult localize(const monitor::FrameSample& sample);
@@ -162,6 +210,9 @@ class PipelineSession {
   std::int32_t max_batch_;
   nn::InferenceContext detector_ctx_;
   nn::InferenceContext localizer_ctx_;
+  /// Bound only when the engine has a temporal head (batch capacity 1 —
+  /// the online loop scores one sequence per window).
+  nn::InferenceContext temporal_ctx_;
 };
 
 /// Deprecated shim: the seed's mutable one-window-per-call API, now a
@@ -179,6 +230,10 @@ class Dl2Fence {
   [[nodiscard]] const Dl2FenceConfig& config() const noexcept { return engine_.config(); }
   [[nodiscard]] DoSDetector& detector() noexcept { return engine_.mutable_detector(); }
   [[nodiscard]] DoSLocalizer& localizer() noexcept { return engine_.mutable_localizer(); }
+  [[nodiscard]] bool has_temporal() const noexcept { return engine_.has_temporal(); }
+  [[nodiscard]] temporal::TemporalDetector& temporal() noexcept {
+    return engine_.mutable_temporal();
+  }
   [[nodiscard]] const monitor::FrameGeometry& geometry() const noexcept {
     return engine_.geometry();
   }

@@ -36,6 +36,8 @@ void collect_samples(traffic::Simulation& sim, const FeatureSampler& sampler,
     FrameSample s;
     s.vco = sampler.sample_vco(sim.mesh(), /*reset=*/true);
     s.boc = sampler.sample_boc(sim.mesh(), /*reset=*/true);
+    s.ni_load = sampler.sample_ni_load(sim.mesh(), /*reset=*/true);
+    s.window_cycles = period;
     s.under_attack = under_attack;
     if (under_attack) {
       s.scenario = scenario;

@@ -20,6 +20,13 @@ namespace dl2f::monitor {
 struct FrameSample {
   DirectionalFrames vco;
   DirectionalFrames boc;
+  /// Per-node NI injection demand over this window, in flits, indexed by
+  /// NodeId (FeatureSampler::sample_ni_load). Empty when the producer does
+  /// not sample it — temporal feature extraction treats missing as zero.
+  std::vector<float> ni_load;
+  /// Length of the monitoring window that produced this sample, in cycles
+  /// (0 = unknown; temporal feature extraction falls back to its default).
+  std::int64_t window_cycles = 0;
   bool under_attack = false;
 
   /// Per-direction binary masks of input ports on a flooding route

@@ -45,4 +45,14 @@ DirectionalFrames FeatureSampler::sample_boc(noc::Mesh& mesh, bool reset) const 
   return frames;
 }
 
+std::vector<float> FeatureSampler::sample_ni_load(noc::Mesh& mesh, bool reset) const {
+  const auto n = static_cast<std::size_t>(mesh.shape().node_count());
+  std::vector<float> load(n, 0.0F);
+  for (std::size_t id = 0; id < n; ++id) {
+    load[id] = static_cast<float>(mesh.ni_injected_flits(static_cast<NodeId>(id)));
+  }
+  if (reset) mesh.reset_ni_injection();
+  return load;
+}
+
 }  // namespace dl2f::monitor

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "common/frame.hpp"
 #include "monitor/frame_geometry.hpp"
@@ -49,6 +50,15 @@ class FeatureSampler {
   /// When `reset` is true the counters restart for the next window (the
   /// VCO occupancy windows are left untouched — see sample_vco).
   [[nodiscard]] DirectionalFrames sample_boc(noc::Mesh& mesh, bool reset = true) const;
+
+  /// Per-node network-interface injection demand accumulated since the
+  /// last NI-counter reset, in flits, indexed by NodeId. The temporal
+  /// detector's cross-source correlation features are built from this: it
+  /// is the only monitor signal attributable to a *source* rather than to
+  /// in-network pressure, which is what makes colluding low-rate floods
+  /// visible. When `reset` is true the injection window restarts after the
+  /// read (BOC / VCO windows untouched — each feature owns its lifecycle).
+  [[nodiscard]] std::vector<float> sample_ni_load(noc::Mesh& mesh, bool reset = true) const;
 
  private:
   FrameGeometry geom_;

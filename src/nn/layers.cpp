@@ -250,6 +250,158 @@ std::size_t Dense::infer_scratch_floats(const Tensor3& /*input_shape*/) const {
          static_cast<std::size_t>(gemm::kSampleBlock);
 }
 
+// --------------------------------------------- TimeDistributedConv2D
+
+TimeDistributedConv2D::TimeDistributedConv2D(std::int32_t steps, std::int32_t in_channels,
+                                             std::int32_t out_channels, std::int32_t kernel,
+                                             Padding padding)
+    : steps_(steps), in_c_(in_channels), out_c_(out_channels), k_(kernel), padding_(padding),
+      pad_(padding == Padding::Same ? (kernel - 1) / 2 : 0),
+      weights_(static_cast<std::size_t>(out_channels * in_channels * kernel * kernel)),
+      bias_(static_cast<std::size_t>(out_channels)) {
+  assert(steps >= 1 && kernel >= 1 && (padding != Padding::Same || kernel % 2 == 1));
+}
+
+Tensor3 TimeDistributedConv2D::output_shape(const Tensor3& s) const {
+  assert(s.channels() == steps_ * in_c_);
+  const auto oh = s.height() + 2 * pad_ - k_ + 1;
+  const auto ow = s.width() + 2 * pad_ - k_ + 1;
+  return Tensor3(steps_ * out_c_, oh, ow);
+}
+
+void TimeDistributedConv2D::init_weights(Rng& rng) {
+  // Shared filter bank: fan-in is one timestep's receptive field, exactly
+  // as for the plain Conv2D it replicates over time.
+  he_uniform(weights_.value, static_cast<std::size_t>(in_c_ * k_ * k_), rng);
+  std::fill(bias_.value.begin(), bias_.value.end(), 0.0F);
+}
+
+Tensor3 TimeDistributedConv2D::forward(const Tensor3& input) {
+  assert(input.channels() == steps_ * in_c_);
+  cached_input_ = input;
+  Tensor3 out = output_shape(input);
+  for (std::int32_t t = 0; t < steps_; ++t) {
+    for (std::int32_t o = 0; o < out_c_; ++o) {
+      for (std::int32_t y = 0; y < out.height(); ++y) {
+        for (std::int32_t x = 0; x < out.width(); ++x) {
+          float acc = bias_.value[static_cast<std::size_t>(o)];
+          for (std::int32_t i = 0; i < in_c_; ++i) {
+            for (std::int32_t dy = 0; dy < k_; ++dy) {
+              const std::int32_t iy = y + dy - pad_;
+              if (iy < 0 || iy >= input.height()) continue;
+              for (std::int32_t dx = 0; dx < k_; ++dx) {
+                const std::int32_t ix = x + dx - pad_;
+                if (ix < 0 || ix >= input.width()) continue;
+                acc += w(o, i, dy, dx) * input.at(t * in_c_ + i, iy, ix);
+              }
+            }
+          }
+          out.at(t * out_c_ + o, y, x) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3 TimeDistributedConv2D::backward(const Tensor3& grad_out) {
+  const Tensor3& in = cached_input_;
+  Tensor3 grad_in(in.channels(), in.height(), in.width());
+  // Timesteps ascending, then the Conv2D reference's (o, y, x) sweep —
+  // the shared weight bank accumulates its gradient over time in this
+  // fixed order, which the batched path reproduces exactly.
+  for (std::int32_t t = 0; t < steps_; ++t) {
+    for (std::int32_t o = 0; o < out_c_; ++o) {
+      for (std::int32_t y = 0; y < grad_out.height(); ++y) {
+        for (std::int32_t x = 0; x < grad_out.width(); ++x) {
+          const float g = grad_out.at(t * out_c_ + o, y, x);
+          if (g == 0.0F) continue;
+          bias_.grad[static_cast<std::size_t>(o)] += g;
+          for (std::int32_t i = 0; i < in_c_; ++i) {
+            for (std::int32_t dy = 0; dy < k_; ++dy) {
+              const std::int32_t iy = y + dy - pad_;
+              if (iy < 0 || iy >= in.height()) continue;
+              for (std::int32_t dx = 0; dx < k_; ++dx) {
+                const std::int32_t ix = x + dx - pad_;
+                if (ix < 0 || ix >= in.width()) continue;
+                gw(o, i, dy, dx) += g * in.at(t * in_c_ + i, iy, ix);
+                grad_in.at(t * in_c_ + i, iy, ix) += g * w(o, i, dy, dx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::size_t TimeDistributedConv2D::infer_scratch_floats(const Tensor3& input_shape) const {
+  // One timestep's im2col panel, reused across (sample, timestep) pairs.
+  const auto oh = input_shape.height() + 2 * pad_ - k_ + 1;
+  const auto ow = input_shape.width() + 2 * pad_ - k_ + 1;
+  return static_cast<std::size_t>(in_c_ * k_ * k_) * static_cast<std::size_t>(oh * ow);
+}
+
+// --------------------------------------------------------- TemporalConv1D
+
+TemporalConv1D::TemporalConv1D(std::int32_t steps, std::int32_t in_dim, std::int32_t out_dim,
+                               std::int32_t kernel_t)
+    : steps_(steps), in_d_(in_dim), out_d_(out_dim), kt_(kernel_t),
+      weights_(static_cast<std::size_t>(out_dim * kernel_t * in_dim)),
+      bias_(static_cast<std::size_t>(out_dim)) {
+  assert(kernel_t >= 1 && steps >= kernel_t);
+}
+
+Tensor3 TemporalConv1D::output_shape(const Tensor3& s) const {
+  assert(static_cast<std::int32_t>(s.channels() * s.height() * s.width()) == steps_ * in_d_);
+  (void)s;
+  return Tensor3(out_steps() * out_d_, 1, 1);
+}
+
+void TemporalConv1D::init_weights(Rng& rng) {
+  he_uniform(weights_.value, static_cast<std::size_t>(kt_ * in_d_), rng);
+  std::fill(bias_.value.begin(), bias_.value.end(), 0.0F);
+}
+
+Tensor3 TemporalConv1D::forward(const Tensor3& input) {
+  assert(static_cast<std::int32_t>(input.size()) == steps_ * in_d_);
+  cached_input_ = input;
+  const std::int32_t kd = kt_ * in_d_;
+  Tensor3 out(out_steps() * out_d_, 1, 1);
+  for (std::int32_t u = 0; u < out_steps(); ++u) {
+    const float* x = input.data().data() + static_cast<std::size_t>(u * in_d_);
+    for (std::int32_t o = 0; o < out_d_; ++o) {
+      float acc = bias_.value[static_cast<std::size_t>(o)];
+      const auto row = static_cast<std::size_t>(o * kd);
+      for (std::int32_t q = 0; q < kd; ++q) {
+        acc += weights_.value[row + static_cast<std::size_t>(q)] * x[q];
+      }
+      out.data()[static_cast<std::size_t>(u * out_d_ + o)] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor3 TemporalConv1D::backward(const Tensor3& grad_out) {
+  const std::int32_t kd = kt_ * in_d_;
+  Tensor3 grad_in(cached_input_.channels(), cached_input_.height(), cached_input_.width());
+  for (std::int32_t u = 0; u < out_steps(); ++u) {
+    const float* x = cached_input_.data().data() + static_cast<std::size_t>(u * in_d_);
+    float* gi = grad_in.data().data() + static_cast<std::size_t>(u * in_d_);
+    for (std::int32_t o = 0; o < out_d_; ++o) {
+      const float g = grad_out.data()[static_cast<std::size_t>(u * out_d_ + o)];
+      bias_.grad[static_cast<std::size_t>(o)] += g;
+      const auto row = static_cast<std::size_t>(o * kd);
+      for (std::int32_t q = 0; q < kd; ++q) {
+        weights_.grad[row + static_cast<std::size_t>(q)] += g * x[q];
+        gi[q] += g * weights_.value[row + static_cast<std::size_t>(q)];
+      }
+    }
+  }
+  return grad_in;
+}
+
 // --------------------------------------------- DepthwiseSeparableConv2D
 
 DepthwiseSeparableConv2D::DepthwiseSeparableConv2D(std::int32_t in_channels,

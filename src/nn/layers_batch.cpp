@@ -239,6 +239,125 @@ void Dense::backward_batch(const Tensor4& grad_out, const Tensor4& in, const Ten
   }
 }
 
+void TimeDistributedConv2D::infer_batch(const Tensor4& in, Tensor4& out, float* scratch) const {
+  assert(in.channels() == steps_ * in_c_ && out.channels() == steps_ * out_c_ &&
+         in.batch() == out.batch());
+  // Per (sample, timestep) this is exactly Conv2D's im2col + GEMM lowering
+  // on one channel group: the shared weight bank is applied to group t of
+  // the input, writing group t of the output. Timesteps ascend inside each
+  // sample, matching the reference forward's loop order.
+  const std::int32_t oh = out.height(), ow = out.width();
+  const std::int32_t p = oh * ow;
+  const std::int32_t ckk = in_c_ * k_ * k_;
+  const std::size_t in_group = static_cast<std::size_t>(in_c_) *
+                               static_cast<std::size_t>(in.height() * in.width());
+  const std::size_t out_group = static_cast<std::size_t>(out_c_) * static_cast<std::size_t>(p);
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    for (std::int32_t t = 0; t < steps_; ++t) {
+      gemm::im2col(in.sample(s) + static_cast<std::size_t>(t) * in_group, in_c_, in.height(),
+                   in.width(), k_, pad_, scratch);
+      gemm::gemm_bias(out_c_, p, ckk, weights_.value.data(), ckk, scratch, p, bias_.value.data(),
+                      out.sample(s) + static_cast<std::size_t>(t) * out_group, p);
+    }
+  }
+}
+
+void TimeDistributedConv2D::backward_batch(const Tensor4& grad_out, const Tensor4& in,
+                                           const Tensor4& /*out*/, Tensor4& grad_in,
+                                           std::span<float* const> param_grads, float* scratch,
+                                           bool need_input_grad) const {
+  assert(grad_out.channels() == steps_ * out_c_ && in.channels() == steps_ * in_c_ &&
+         param_grads.size() == 2);
+  float* const gw = param_grads[0];
+  float* const gb = param_grads[1];
+  const std::int32_t ih = in.height(), iw = in.width();
+  const std::int32_t oh = grad_out.height(), ow = grad_out.width();
+  const std::int32_t p = oh * ow;
+  const float* wt = weights_.value.data();
+  const std::size_t in_group = static_cast<std::size_t>(in_c_) * static_cast<std::size_t>(ih * iw);
+  const std::size_t out_group = static_cast<std::size_t>(out_c_) * static_cast<std::size_t>(p);
+
+  // Samples ascending, timesteps ascending within each — the order the
+  // reference backward accumulates the shared weight bank's gradient when
+  // run sequentially over the batch. Each (sample, timestep) pair then
+  // takes Conv2D's per-sample path choice verbatim.
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    for (std::int32_t t = 0; t < steps_; ++t) {
+      const float* g = grad_out.sample(s) + static_cast<std::size_t>(t) * out_group;
+      const float* src = in.sample(s) + static_cast<std::size_t>(t) * in_group;
+
+      const std::int64_t nnz = gemm::nonzero_count(g, static_cast<std::size_t>(out_c_) *
+                                                          static_cast<std::size_t>(p));
+      if (out_c_ >= 4 && nnz * 4 >= static_cast<std::int64_t>(out_c_) * p) {
+        const std::int32_t ckk = in_c_ * k_ * k_;
+        gemm::im2row(src, in_c_, ih, iw, k_, pad_, scratch);
+        gemm::gemm_accumulate_skipzero(out_c_, ckk, p, g, p, scratch, ckk, gw, ckk, gb);
+      } else {
+        gemm::conv_weight_bias_grad_direct(g, src, in_c_, ih, iw, k_, pad_, out_c_, gw, gb);
+      }
+
+      if (!need_input_grad) continue;
+      gemm::conv_grad_input(g, wt, in_c_, ih, iw, k_, pad_, out_c_,
+                            grad_in.sample(s) + static_cast<std::size_t>(t) * in_group);
+    }
+  }
+}
+
+void TemporalConv1D::infer_batch(const Tensor4& in, Tensor4& out, float* /*scratch*/) const {
+  assert(static_cast<std::int32_t>(in.sample_size()) == steps_ * in_d_ &&
+         static_cast<std::int32_t>(out.sample_size()) == out_steps() * out_d_);
+  // Each temporal position is one (out_d x 1) = (out_d x kd) . (kd x 1)
+  // GEMM against the sliding embedding window; gemm_bias accumulates the
+  // reduction index ascending, which IS the reference forward's chain
+  // (bias, then q ascending over the window).
+  const std::int32_t kd = kt_ * in_d_;
+  const float* wt = weights_.value.data();
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* x = in.sample(s);
+    float* dst = out.sample(s);
+    for (std::int32_t u = 0; u < out_steps(); ++u) {
+      gemm::gemm_bias(out_d_, 1, kd, wt, kd, x + static_cast<std::size_t>(u * in_d_), 1,
+                      bias_.value.data(), dst + static_cast<std::size_t>(u * out_d_), 1);
+    }
+  }
+}
+
+void TemporalConv1D::backward_batch(const Tensor4& grad_out, const Tensor4& in,
+                                    const Tensor4& /*out*/, Tensor4& grad_in,
+                                    std::span<float* const> param_grads, float* /*scratch*/,
+                                    bool need_input_grad) const {
+  assert(static_cast<std::int32_t>(grad_out.sample_size()) == out_steps() * out_d_ &&
+         param_grads.size() == 2);
+  // The reference backward's loops verbatim, samples ascending (the Dense
+  // precedent: the temporal head is narrow, so plain axpy loops beat a
+  // pack + GEMM round-trip and keep the accumulation chains identical).
+  float* const gw = param_grads[0];
+  float* const gb = param_grads[1];
+  const std::int32_t kd = kt_ * in_d_;
+  const float* wt = weights_.value.data();
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* xs = in.sample(s);
+    const float* gs = grad_out.sample(s);
+    float* gi_s = need_input_grad ? grad_in.sample(s) : nullptr;
+    if (gi_s != nullptr) std::fill(gi_s, gi_s + grad_in.sample_size(), 0.0F);
+    for (std::int32_t u = 0; u < out_steps(); ++u) {
+      const float* x = xs + static_cast<std::size_t>(u * in_d_);
+      float* gi = gi_s == nullptr ? nullptr : gi_s + static_cast<std::size_t>(u * in_d_);
+      for (std::int32_t o = 0; o < out_d_; ++o) {
+        const float gv = gs[static_cast<std::size_t>(u * out_d_ + o)];
+        gb[o] += gv;
+        float* __restrict gw_row = gw + static_cast<std::size_t>(o) * static_cast<std::size_t>(kd);
+        const float* __restrict w_row =
+            wt + static_cast<std::size_t>(o) * static_cast<std::size_t>(kd);
+        for (std::int32_t q = 0; q < kd; ++q) gw_row[q] += gv * x[q];
+        if (gi != nullptr) {
+          for (std::int32_t q = 0; q < kd; ++q) gi[q] += gv * w_row[q];
+        }
+      }
+    }
+  }
+}
+
 void DepthwiseSeparableConv2D::infer_batch(const Tensor4& in, Tensor4& out,
                                            float* scratch) const {
   assert(in.channels() == in_c_ && out.channels() == out_c_ && scratch != nullptr);

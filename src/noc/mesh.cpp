@@ -14,6 +14,7 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   source_queues_.resize(n);
   inject_vc_.assign(n, -1);
   quarantined_.assign(n, 0);
+  ni_injected_flits_.assign(n, 0);
   router_active_.assign(n, 0);
   source_active_.assign(n, 0);
   active_routers_.reserve(n);
@@ -44,6 +45,7 @@ PacketId Mesh::inject(NodeId src, NodeId dst, std::int32_t length_flits, bool ma
   p.malicious = malicious;
   auto& q = source_queues_[static_cast<std::size_t>(src)];
   q.push_back(p);
+  ni_injected_flits_[static_cast<std::size_t>(src)] += p.length_flits;
   max_queue_len_ = std::max(max_queue_len_, q.size());
   activate_source(src);
   return p.id;
@@ -246,9 +248,14 @@ void Mesh::reset_occupancy_windows() {
   }
 }
 
+void Mesh::reset_ni_injection() {
+  std::fill(ni_injected_flits_.begin(), ni_injected_flits_.end(), std::int64_t{0});
+}
+
 void Mesh::reset_telemetry() {
   reset_boc_counters();
   reset_occupancy_windows();
+  reset_ni_injection();
 }
 
 std::vector<NodeId> xy_route_path(const MeshShape& mesh, NodeId src, NodeId dst) {

@@ -118,9 +118,24 @@ class Mesh {
   /// True when no traffic is queued or in flight.
   [[nodiscard]] bool drained() const;
 
+  /// Flits of injection *demand* node `id` presented to its network
+  /// interface since the last reset_ni_injection(): every accepted
+  /// inject() call contributes its full flit count immediately, even while
+  /// the NI is still serializing at its 1 flit/cycle bandwidth cap.
+  /// Quarantine-dropped packets are not counted. Pure integer counters, so
+  /// sampling them perturbs no floating-point telemetry.
+  [[nodiscard]] std::int64_t ni_injected_flits(NodeId id) const {
+    assert(cfg_.shape.valid(id));
+    return ni_injected_flits_[static_cast<std::size_t>(id)];
+  }
+  /// Restart the per-node injection window counters (monitor window
+  /// boundary; also part of reset_telemetry()).
+  void reset_ni_injection();
+
   /// Reset the per-port BOC counters on every router (the monitor calls
   /// this — or the finer-grained variants below — at window boundaries).
-  /// Equivalent to reset_boc_counters() + reset_occupancy_windows().
+  /// Equivalent to reset_boc_counters() + reset_occupancy_windows() +
+  /// reset_ni_injection().
   void reset_telemetry();
   /// Reset only the buffer-operation (BOC) counters, leaving the VCO
   /// occupancy-averaging windows untouched — lets the monitor sample BOC
@@ -169,6 +184,8 @@ class Mesh {
   /// Local-input VC each NI is currently serializing into (-1 = none).
   std::vector<std::int32_t> inject_vc_;
   std::vector<char> quarantined_;
+  /// Per-node injection demand (flits) this monitoring window.
+  std::vector<std::int64_t> ni_injected_flits_;
   std::int64_t packets_dropped_ = 0;
   std::size_t max_queue_len_ = 0;
   LatencyStats stats_;

@@ -11,20 +11,10 @@
 #include "core/detector.hpp"
 #include "core/localizer.hpp"
 #include "monitor/dataset.hpp"
+#include "temporal/adversarial.hpp"
 
 namespace dl2f::runtime {
 namespace {
-
-/// FNV-1a: a platform-stable family-name hash (std::hash is not portable),
-/// mixed into each job's seed so families draw decorrelated placements.
-std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 JobResult run_job(const CampaignConfig& cfg, const core::PipelineEngine& engine,
                   const std::string& family, const monitor::Benchmark& workload,
@@ -72,6 +62,11 @@ ModelSnapshot ModelSnapshot::capture(const core::PipelineEngine& engine) {
   engine.localizer().model().save(loc);
   snap.detector_weights = det.str();
   snap.localizer_weights = loc.str();
+  if (engine.has_temporal()) {
+    std::ostringstream tmp;
+    engine.temporal().model().save(tmp);
+    snap.temporal_weights = tmp.str();
+  }
   return snap;
 }
 
@@ -81,6 +76,10 @@ ModelSnapshot ModelSnapshot::capture(const core::Dl2Fence& fence) {
 
 core::PipelineEngine ModelSnapshot::make_engine() const {
   std::istringstream det(detector_weights), loc(localizer_weights);
+  if (!temporal_weights.empty()) {
+    std::istringstream tmp(temporal_weights);
+    return core::PipelineEngine(config, det, loc, tmp);
+  }
   return core::PipelineEngine(config, det, loc);
 }
 
@@ -91,6 +90,12 @@ core::Dl2Fence ModelSnapshot::restore() const {
     // A silently garbage-weighted pipeline would run the whole campaign
     // and emit meaningless metrics; fail loudly instead.
     throw std::runtime_error("ModelSnapshot::restore: weight blob does not match the model");
+  }
+  if (!temporal_weights.empty()) {
+    std::istringstream tmp(temporal_weights);
+    if (!fence.has_temporal() || !fence.temporal().model().load(tmp)) {
+      throw std::runtime_error("ModelSnapshot::restore: temporal blob does not match the model");
+    }
   }
   return fence;
 }
@@ -111,7 +116,10 @@ ModelSnapshot train_model_snapshot(const MeshShape& mesh,
   data_cfg.seed = preset.seed;
   const monitor::Dataset data = monitor::generate_dataset(data_cfg, benigns);
 
-  core::Dl2Fence fence(core::Dl2FenceConfig::paper_default(mesh));
+  core::Dl2FenceConfig fence_cfg = core::Dl2FenceConfig::paper_default(mesh);
+  fence_cfg.enable_temporal = preset.temporal;
+  fence_cfg.temporal.sequence_length = preset.sequence_length;
+  core::Dl2Fence fence(fence_cfg);
   core::TrainConfig det_cfg;
   det_cfg.epochs = preset.detector_epochs;
   det_cfg.seed = preset.seed ^ 0x42;
@@ -122,6 +130,31 @@ ModelSnapshot train_model_snapshot(const MeshShape& mesh,
   loc_cfg.seed = preset.seed ^ 0x43;
   loc_cfg.threads = preset.threads;
   core::train_localizer(fence.localizer(), data, loc_cfg);
+
+  if (preset.temporal) {
+    // Adversarial retraining preset: the sequence grid mixes every
+    // registered family — static AND evasive — over the same benign
+    // workloads, so the temporal head sees pulse troughs, ramp onsets and
+    // colluding low-rate floods at training time.
+    temporal::SequenceDatasetConfig seq_cfg;
+    seq_cfg.mesh = mesh;
+    seq_cfg.sequence_length = preset.sequence_length;
+    seq_cfg.windows_per_run = preset.temporal_windows_per_run;
+    seq_cfg.runs_per_cell = preset.temporal_runs_per_cell;
+    seq_cfg.params.mesh = mesh;
+    seq_cfg.seed = preset.seed;
+    const std::vector<std::string> families = preset.adversarial_families.empty()
+                                                  ? all_scenario_families()
+                                                  : preset.adversarial_families;
+    const temporal::SequenceDataset seq_data = temporal::generate_sequence_dataset(
+        seq_cfg, families, preset.temporal_benigns.empty() ? benigns : preset.temporal_benigns);
+
+    temporal::TemporalTrainConfig tmp_cfg;
+    tmp_cfg.epochs = preset.temporal_epochs;
+    tmp_cfg.seed = preset.seed ^ 0x44;
+    tmp_cfg.threads = preset.threads;
+    temporal::train_temporal_detector(fence.temporal(), seq_data, tmp_cfg);
+  }
   return ModelSnapshot::capture(fence);
 }
 

@@ -28,6 +28,9 @@ struct ModelSnapshot {
   core::Dl2FenceConfig config;
   std::string detector_weights;
   std::string localizer_weights;
+  /// Temporal sequence head blob; empty when the engine has none (the
+  /// config's enable_temporal flag and this blob travel together).
+  std::string temporal_weights;
 
   static ModelSnapshot capture(const core::PipelineEngine& engine);
   static ModelSnapshot capture(const core::Dl2Fence& fence);
@@ -53,6 +56,27 @@ struct TrainPreset {
   /// weights are byte-identical for a given seed at any thread count, so
   /// this only trades wall-clock — campaigns stay reproducible.
   std::int32_t threads = 1;
+
+  // --- temporal sequence head (src/temporal) ---
+
+  /// Additionally train a temporal detector on an adversarial
+  /// window-sequence grid and carry it in the snapshot. The resulting
+  /// engine's DefenseRuntimes score sliding sequences (single-window OR
+  /// temporal verdict), closing the evasive families' blind spots.
+  bool temporal = false;
+  std::int32_t sequence_length = 4;
+  std::int32_t temporal_epochs = 30;
+  /// Adversarial grid budget (temporal::SequenceDatasetConfig).
+  std::int32_t temporal_windows_per_run = 12;
+  std::int32_t temporal_runs_per_cell = 2;
+  /// Scenario families mixed into the adversarial grid; empty = ALL
+  /// registered families (builtin + evasive — the retraining preset).
+  std::vector<std::string> adversarial_families;
+  /// Benign workloads for the adversarial sequence grid; empty = the same
+  /// benigns the base dataset trains on. Set explicitly when the campaign
+  /// scores more workloads than the base mix: a sequence head that never
+  /// saw a workload's benign rhythm will confidently flag it.
+  std::vector<monitor::Benchmark> temporal_benigns;
 };
 
 /// Simulate, train and freeze a detector/localizer pair for `mesh` on the

@@ -7,7 +7,8 @@ namespace dl2f::runtime {
 
 DefenseRuntime::DefenseRuntime(traffic::Simulation& sim, const core::PipelineEngine& engine,
                                DefenseConfig cfg)
-    : sim_(sim), session_(engine, /*max_batch=*/1), cfg_(cfg), sampler_(sim.mesh().shape()) {
+    : sim_(sim), session_(engine, /*max_batch=*/1), cfg_(cfg), sampler_(sim.mesh().shape()),
+      windows_(engine.has_temporal() ? engine.config().temporal.sequence_length : 1) {
   assert(engine.config().detector.mesh == sim.mesh().shape());
   const auto n = static_cast<std::size_t>(sim.mesh().shape().node_count());
   votes_.assign(n, 0);
@@ -55,9 +56,22 @@ WindowRecord DefenseRuntime::run_window() {
   monitor::FrameSample sample;
   sample.vco = sampler_.sample_vco(mesh, /*reset=*/true);
   sample.boc = sampler_.sample_boc(mesh, /*reset=*/true);
-  const core::RoundResult round = session_.process(sample);
+  sample.ni_load = sampler_.sample_ni_load(mesh, /*reset=*/true);
+  sample.window_cycles = cfg_.window_cycles;
+  windows_.push(std::move(sample));
+  // Temporal engines score the sliding sequence (single-window verdict
+  // OR temporal verdict, plus the colluding-source assist); single-window
+  // engines score the newest window exactly as before. While a post-fence
+  // cooldown is active, the sequence verdict is suppressed (see
+  // DefenseConfig::temporal_cooldown_windows) and only the single-window
+  // path scores this window.
+  const bool temporal_live = session_.engine().has_temporal() && temporal_cooldown_ == 0;
+  if (temporal_cooldown_ > 0) --temporal_cooldown_;
+  const core::RoundResult round = temporal_live ? session_.process_sequence(windows_.view())
+                                                : session_.process(windows_.latest());
   rec.detected = round.detected;
   rec.probability = round.probability;
+  rec.sequence_probability = round.sequence_probability;
   rec.tlm_attackers = round.tlm.attackers;
 
   // Windowed benign latency: deltas of the cumulative accumulators.
@@ -97,6 +111,7 @@ WindowRecord DefenseRuntime::run_window() {
 
   update_mitigation(round, rec);
   rec.quarantined = mesh.quarantined_nodes();
+  if (!rec.newly_quarantined.empty()) temporal_cooldown_ = cfg_.temporal_cooldown_windows;
 
   history_.push_back(rec);
   return rec;

@@ -27,6 +27,7 @@
 #include "core/evaluation.hpp"
 #include "core/pipeline.hpp"
 #include "monitor/sampler.hpp"
+#include "monitor/window_history.hpp"
 #include "runtime/scenario.hpp"
 #include "traffic/simulation.hpp"
 
@@ -37,6 +38,14 @@ struct DefenseConfig {
   bool mitigation_enabled = true;     ///< false = monitor-only (probation still releases)
   std::int32_t quarantine_votes = 1;  ///< consecutive windows naming a node before fencing
   std::int32_t probation_windows = 3; ///< consecutive windows not naming a fenced node before release
+  /// Windows after a new quarantine action during which the temporal
+  /// head's sequence verdict is suppressed (the single-window verdict
+  /// stays live). The sequence head reads multi-window history, so it
+  /// necessarily lags the fence: the first post-fence window pairs
+  /// residual drain congestion with attack history — the head's one
+  /// systematic false positive. Any attacker the fence missed still
+  /// floods the current window and is caught by the single-window path.
+  std::int32_t temporal_cooldown_windows = 1;
 };
 
 /// Everything observed and done in one monitoring window.
@@ -47,6 +56,9 @@ struct WindowRecord {
 
   bool detected = false;
   float probability = 0.0F;
+  /// Temporal-head sigmoid over the sliding window sequence (0 when the
+  /// engine has no temporal head).
+  float sequence_probability = 0.0F;
   std::vector<NodeId> tlm_attackers;  ///< TLM verdict (empty when not detected)
 
   std::vector<NodeId> newly_quarantined;
@@ -131,9 +143,14 @@ class DefenseRuntime {
   DefenseConfig cfg_;
   monitor::FeatureSampler sampler_;
   Scenario* scenario_ = nullptr;
+  /// Sliding window-sequence buffer feeding the temporal head (length 1
+  /// when the engine has none — the newest window is read back from it
+  /// either way, so both paths share one sampling flow).
+  monitor::WindowHistory windows_;
 
   std::vector<std::int32_t> votes_;         ///< per-node consecutive implicated windows
   std::vector<std::int32_t> clean_streak_;  ///< per-node consecutive unimplicated windows while fenced
+  std::int32_t temporal_cooldown_ = 0;      ///< sequence-verdict suppression windows left
   std::vector<WindowRecord> history_;
 
   // Benign-stats snapshot at the last window boundary (for windowed deltas).

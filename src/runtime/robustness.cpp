@@ -79,14 +79,16 @@ TextTable RobustnessReport::table() const {
   TextTable table({"Family", "Workload", "Jobs", "Det acc", "Det F1", "Loc F1", "Mitigated",
                    "TTM (cyc)", "Recovered", "Rec ratio"});
   for (const auto& c : cells_) {
+    // The -1 "never happened" sentinels render as an em dash — visually
+    // distinct from both real values and the hyphen used for "no jobs".
     table.add_row({c.family, c.workload, std::to_string(c.jobs),
                    TextTable::cell(c.detection_accuracy), TextTable::cell(c.detection_f1),
                    TextTable::cell(c.localization_f1), TextTable::cell(c.mitigation_rate, 2),
                    c.mean_time_to_mitigate >= 0.0 ? TextTable::cell(c.mean_time_to_mitigate, 0)
-                                                  : "-",
+                                                  : "—",
                    TextTable::cell(c.recovery_rate, 2),
                    c.mean_recovery_ratio >= 0.0 ? TextTable::cell(c.mean_recovery_ratio, 2)
-                                                : "-"});
+                                                : "—"});
   }
   return table;
 }
@@ -116,6 +118,12 @@ std::vector<const RobustnessCell*> RobustnessReport::blind_spots(
 }
 
 std::string RobustnessReport::to_json() const {
+  // Sentinel convention: mean_time_to_mitigate and mean_recovery_ratio
+  // emit -1.000000 for cells where NO job of the cell ever mitigated
+  // (resp. recovered) — "never happened", not a measured duration/ratio.
+  // Consumers must treat negative values as absent, as the text table()
+  // does by rendering them as an em dash. All other fields are plain
+  // means over the cell's jobs (0 when jobs == 0).
   std::ostringstream os;
   os << std::fixed << std::setprecision(6);
   os << "{\n    \"families\": [";
