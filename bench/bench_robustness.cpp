@@ -1,5 +1,6 @@
 // Adaptive-attacker robustness matrix: evasive FDoS families × the full
-// benign-workload grid (6 synthetic patterns + 3 PARSEC workloads).
+// benign-workload grid (6 synthetic patterns + 3 PARSEC workloads + 3
+// trace-driven request/reply families from src/workload/).
 //
 // Trains one model snapshot — by default including the temporal sequence
 // head, adversarially retrained on the full family mix (src/temporal) —
@@ -21,7 +22,7 @@
 //   --families=a,b,...    run only these scenario families
 //   --workloads=a,b,...   run only these benign workloads (by name)
 // The family/workload filters reproduce one matrix cell without paying
-// for the full 5x9 sweep. DL2F_BENCH_SCALE=paper widens the seed axis.
+// for the full 5x12 sweep. DL2F_BENCH_SCALE=paper widens the seed axis.
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> families = {"static"};
   for (const auto& f : runtime::evasive_scenario_families()) families.push_back(f);
   std::vector<monitor::Benchmark> workloads = monitor::all_benchmarks();
+  for (const auto& w : monitor::trace_benchmarks()) workloads.push_back(w);
 
   if (!family_filter.empty()) {
     for (const auto& f : family_filter) {
@@ -121,20 +123,32 @@ int main(int argc, char** argv) {
   runtime::TrainPreset preset;
   preset.temporal = temporal;
   // The sequence head must see every workload's benign rhythm — always the
-  // full benchmark list, independent of --workloads filtering, so a
-  // filtered run reproduces the full run's snapshot bit-for-bit.
+  // full benchmark list (trace families included), independent of
+  // --workloads filtering, so a filtered run reproduces the full run's
+  // snapshot bit-for-bit.
   preset.temporal_benigns = monitor::all_benchmarks();
+  for (const auto& w : monitor::trace_benchmarks()) preset.temporal_benigns.push_back(w);
   if (quick) {
     preset.scenarios = 4;
     preset.detector_epochs = 20;
     preset.localizer_epochs = 10;
     preset.temporal_epochs = 15;
     preset.temporal_runs_per_cell = 1;
+  } else {
+    // The 12-workload matrix (trace families included) spans two traffic
+    // regimes — diffuse synthetic/PARSEC load vs corner-server
+    // request/reply hotspots — so the full preset buys the base detector
+    // a larger scenario pool to separate them without giving up the
+    // static control row.
+    preset.localizer_epochs = 40;
   }
   const std::vector<monitor::Benchmark> train_mix{
       monitor::Benchmark{traffic::SyntheticPattern::UniformRandom},
       monitor::Benchmark{traffic::SyntheticPattern::Tornado},
-      monitor::Benchmark{traffic::ParsecWorkload::Blackscholes}};
+      monitor::Benchmark{traffic::ParsecWorkload::Blackscholes},
+      // One request/reply workload so the single-window detector has seen
+      // benign server-corner hotspotting (the trace families' signature).
+      monitor::Benchmark{workload::TraceWorkloadKind::TraceReplay}};
   const runtime::ModelSnapshot model = runtime::train_model_snapshot(mesh, train_mix, preset);
 
   runtime::CampaignConfig cfg;
@@ -142,7 +156,7 @@ int main(int argc, char** argv) {
   cfg.workloads = workloads;
   cfg.seeds = paper   ? std::vector<std::uint64_t>{1, 2, 3, 4}
               : quick ? std::vector<std::uint64_t>{1}
-                      : std::vector<std::uint64_t>{1, 2};
+                      : std::vector<std::uint64_t>{1, 2, 3};
   cfg.windows = quick ? 6 : 12;
   cfg.params.mesh = mesh;
   cfg.params.attack_start = 3 * cfg.defense.window_cycles;

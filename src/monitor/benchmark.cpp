@@ -6,6 +6,9 @@ std::string Benchmark::name() const {
   if (const auto* stp = std::get_if<traffic::SyntheticPattern>(&kind)) {
     return std::string(traffic::to_string(*stp));
   }
+  if (const auto* trace = std::get_if<workload::TraceWorkloadKind>(&kind)) {
+    return std::string(workload::to_string(*trace));
+  }
   return std::string(traffic::to_string(std::get<traffic::ParsecWorkload>(kind)));
 }
 
@@ -30,6 +33,9 @@ std::unique_ptr<traffic::TrafficGenerator> Benchmark::make_generator(const MeshS
   if (const auto* stp = std::get_if<traffic::SyntheticPattern>(&kind)) {
     return std::make_unique<traffic::SyntheticTraffic>(*stp, stp_injection_rate(), seed);
   }
+  if (const auto* trace = std::get_if<workload::TraceWorkloadKind>(&kind)) {
+    return workload::make_trace_workload(*trace, shape, seed);
+  }
   return std::make_unique<traffic::ParsecTraffic>(std::get<traffic::ParsecWorkload>(kind), shape,
                                                   seed);
 }
@@ -43,6 +49,12 @@ std::vector<Benchmark> stp_benchmarks() {
 std::vector<Benchmark> parsec_benchmarks() {
   std::vector<Benchmark> out;
   for (auto w : traffic::kAllParsecWorkloads) out.push_back(Benchmark{w});
+  return out;
+}
+
+std::vector<Benchmark> trace_benchmarks() {
+  std::vector<Benchmark> out;
+  for (auto k : workload::kAllTraceWorkloads) out.push_back(Benchmark{k});
   return out;
 }
 

@@ -153,7 +153,10 @@ void Mesh::step() {
     }
     for (const auto& f : ejected_) {
       stats_.on_flit_ejected(f, now_);
-      if (is_tail(f.type)) stats_.on_packet_ejected(f, now_);
+      if (is_tail(f.type)) {
+        stats_.on_packet_ejected(f, now_);
+        if (delivery_listener_ != nullptr) delivery_listener_->on_packet_delivered(f, now_);
+      }
       if (!f.malicious) {
         benign_stats_.on_flit_ejected(f, now_);
         if (is_tail(f.type)) benign_stats_.on_packet_ejected(f, now_);

@@ -56,6 +56,19 @@ struct MeshConfig {
   std::int32_t packet_length_flits = 5;  ///< default packet size (1 head + 3 body + 1 tail)
 };
 
+/// Observer of packet deliveries: invoked once per delivered packet (its
+/// tail flit) as the ejection is recorded, in ascending router-id order
+/// within a cycle — the same deterministic order the latency stats
+/// accumulate in. The request/reply workload endpoints (src/workload/)
+/// register one so delivered requests can be turned into replies after a
+/// service latency; packets the listener does not recognize (other
+/// generators' traffic, flooding overlays) are simply not its to handle.
+class PacketDeliveryListener {
+ public:
+  virtual ~PacketDeliveryListener() = default;
+  virtual void on_packet_delivered(const Flit& tail, Cycle now) = 0;
+};
+
 class Mesh {
  public:
   explicit Mesh(const MeshConfig& cfg);
@@ -132,6 +145,16 @@ class Mesh {
   /// boundary; also part of reset_telemetry()).
   void reset_ni_injection();
 
+  /// Register (or clear, with nullptr) the packet-delivery observer. At
+  /// most one listener is supported — the mesh is owned by exactly one
+  /// Simulation, whose request/reply workload (if any) is the one consumer.
+  void set_delivery_listener(PacketDeliveryListener* listener) noexcept {
+    delivery_listener_ = listener;
+  }
+  [[nodiscard]] PacketDeliveryListener* delivery_listener() const noexcept {
+    return delivery_listener_;
+  }
+
   /// Reset the per-port BOC counters on every router (the monitor calls
   /// this — or the finer-grained variants below — at window boundaries).
   /// Equivalent to reset_boc_counters() + reset_occupancy_windows() +
@@ -188,6 +211,7 @@ class Mesh {
   std::vector<std::int64_t> ni_injected_flits_;
   std::int64_t packets_dropped_ = 0;
   std::size_t max_queue_len_ = 0;
+  PacketDeliveryListener* delivery_listener_ = nullptr;
   LatencyStats stats_;
   LatencyStats benign_stats_;
 

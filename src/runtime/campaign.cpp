@@ -286,7 +286,8 @@ std::string CampaignResult::serialize() const {
        << " detect=" << s.detect_cycle << " mitigate=" << s.mitigate_cycle
        << " recover=" << s.recover_cycle << " baseline=" << s.baseline_latency
        << " baseline_p50=" << s.baseline_p50 << " baseline_p99=" << s.baseline_p99
-       << " peak=" << s.peak_latency << " recovered=" << s.recovered_latency << '\n';
+       << " peak=" << s.peak_latency << " recovered=" << s.recovered_latency
+       << " fences=" << s.fence_events << " false_fences=" << s.false_fence_events << '\n';
   }
   return os.str();
 }

@@ -203,6 +203,16 @@ DefenseSummary DefenseRuntime::summarize(double recovery_ratio) const {
         seen_attackers.push_back(a);
       }
     }
+    // Fence accounting: judged against the cumulative attacker set with
+    // this window's truth already merged, so fencing a node in the very
+    // window it starts flooding counts as a true fence.
+    for (const NodeId q : w.newly_quarantined) {
+      ++s.fence_events;
+      if (scenario_ != nullptr &&
+          std::find(seen_attackers.begin(), seen_attackers.end(), q) == seen_attackers.end()) {
+        ++s.false_fence_events;
+      }
+    }
     if (s.mitigate_cycle < 0 && !seen_attackers.empty()) {
       const bool all_fenced = std::all_of(
           seen_attackers.begin(), seen_attackers.end(), [&](NodeId a) {

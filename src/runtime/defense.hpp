@@ -95,11 +95,32 @@ struct DefenseSummary {
   double recovered_latency = 0.0;  ///< benign latency in the recovering window
   double recovery_ratio = 2.0;     ///< recovered means latency <= ratio * baseline
 
+  /// Fence accounting (the serving SLO's cost side). A *fence event* is one
+  /// node entering quarantine (a WindowRecord::newly_quarantined entry); a
+  /// *false fence* is a fence event on a node that had never flooded up to
+  /// and including that window — judged against the cumulative ground-truth
+  /// attacker set, not the per-window one, so fencing a periodic attacker
+  /// during its dormant phase is correctly NOT counted as false. The
+  /// false-fence *rate* is normalized per monitoring window (events per
+  /// window), which makes soak runs of different lengths comparable.
+  std::int64_t fence_events = 0;
+  std::int64_t false_fence_events = 0;
+  [[nodiscard]] double false_fence_rate() const noexcept {
+    return windows > 0 ? static_cast<double>(false_fence_events) / static_cast<double>(windows)
+                       : 0.0;
+  }
+
   [[nodiscard]] bool mitigated() const noexcept { return mitigate_cycle >= 0; }
   [[nodiscard]] bool recovered() const noexcept { return recover_cycle >= 0; }
   /// Cycles from first attack traffic to full mitigation (-1 when never).
   [[nodiscard]] noc::Cycle time_to_mitigate() const noexcept {
     return mitigated() ? mitigate_cycle - first_attack_cycle : -1;
+  }
+  /// End-to-end detection latency: cycles from the first attack traffic to
+  /// the end of the first true-positive window (-1 when never detected).
+  [[nodiscard]] noc::Cycle detection_latency() const noexcept {
+    return (detect_cycle >= 0 && first_attack_cycle >= 0) ? detect_cycle - first_attack_cycle
+                                                          : -1;
   }
 };
 

@@ -52,7 +52,8 @@ void TemporalDetector::preprocess_into(monitor::SequenceView seq, nn::Tensor4& b
   float* dst = batch.sample(slot);
 
   // Pass 1, per window: VCO channels 0-3 verbatim, RAW gained pressure rate
-  // into the channel-4 slot, source plane into channel 6.
+  // into the channel-4 slot, RAW gained source-rate plane into the
+  // channel-6 slot.
   for (std::size_t t = 0; t < seq.size(); ++t) {
     const monitor::FrameSample& s = *seq[t];
     float* win = dst + t * per_window;
@@ -65,21 +66,27 @@ void TemporalDetector::preprocess_into(monitor::SequenceView seq, nn::Tensor4& b
     }
     pressure_rate_into(s, win + 4 * hw, hw);
     for (std::size_t i = 0; i < hw; ++i) (win + 4 * hw)[i] *= kPressureGain;
-    sources_plane_into(s, cfg_.mesh, win + 6 * hw, hw);
+    sources_rate_into(s, cfg_.mesh, win + 6 * hw, hw);
   }
 
   // Pass 2, timesteps DESCENDING: channel 5 is the signed delta between
-  // this window's and the previous window's raw pressure rates, then the
-  // channel-4 slot is squashed in place. Descending order means window
-  // t-1's slot still holds the raw rate when window t's delta reads it —
-  // no scratch plane needed.
+  // this window's and the previous window's raw pressure rates, and
+  // channel 7 the same trend over the raw source rates; then the raw
+  // channel-4 and channel-6 slots are squashed in place. Descending order
+  // means window t-1's slots still hold the raw rates when window t's
+  // deltas read them — no scratch planes needed.
   for (std::size_t t = seq.size(); t-- > 0;) {
     float* win = dst + t * per_window;
     float* rate = win + 4 * hw;
     float* delta = win + 5 * hw;
+    float* src_rate = win + 6 * hw;
+    float* src_trend = win + 7 * hw;
     const float* prev = t > 0 ? dst + (t - 1) * per_window + 4 * hw : rate;
+    const float* src_prev = t > 0 ? dst + (t - 1) * per_window + 6 * hw : src_rate;
     for (std::size_t i = 0; i < hw; ++i) delta[i] = squash_signed(rate[i] - prev[i]);
+    for (std::size_t i = 0; i < hw; ++i) src_trend[i] = squash_signed(src_rate[i] - src_prev[i]);
     for (std::size_t i = 0; i < hw; ++i) rate[i] = squash(rate[i]);
+    for (std::size_t i = 0; i < hw; ++i) src_rate[i] = squash(src_rate[i]);
   }
 }
 

@@ -3,7 +3,7 @@
 // Architecture (mirrors the single-window DoSDetector's conv->pool->dense
 // shape, then adds a conv-over-time stage):
 //
-//   TimeDistributedConv2D(T, 7ch -> filters, k, Valid)   weights shared
+//   TimeDistributedConv2D(T, 8ch -> filters, k, Valid)   weights shared
 //   ReLU                                                 across timesteps
 //   MaxPool2D(pool)                                      (spatial only)
 //   Flatten          -> T contiguous per-window embeddings, time-major
@@ -12,18 +12,25 @@
 //   Dense((T - kt + 1) * temporal_filters, 1)
 //   Sigmoid
 //
-// Input is (T * 7, rows, cols-1): each window contributes 7 channels —
+// Input is (T * 8, rows, cols-1): each window contributes 8 channels —
 //   0..3  raw directional VCO frames (same planes the DoSDetector sees),
 //   4     squashed aggregate BOC pressure rate,
 //   5     signed squashed pressure-rate DELTA vs the previous window in the
 //         sequence (zero at the first position — and across any warmup
 //         padding, since padded windows repeat the oldest live window),
-//   6     squashed per-source injection-demand plane (cross-source view).
+//   6     squashed per-source injection-demand plane (cross-source view),
+//   7     signed squashed per-source rate-trend: the windowed slope of the
+//         RAW (pre-squash) source-rate plane vs the previous window. A
+//         stealth ramp is engineered to sit under every per-window
+//         threshold, but its ramp slope is a *constant positive* value
+//         here, window after window — exactly the persistence the
+//         conv-over-time stage integrates. Zero at the first position and
+//         across warmup padding, like channel 5.
 //
 // Channels 0, 1, 2, 3, 4 and 6 are pure functions of ONE window, so a
 // window's feature planes are bitwise identical whether computed inside a
 // sequence or in isolation (tests/window_history_test.cpp pins this); only
-// channel 5 reads a neighbor. All compute flows through the shared Layer /
+// channels 5 and 7 read a neighbor. All compute flows through the shared Layer /
 // Tensor4 / GEMM stack, so the batched-vs-reference bitwise contract and
 // the any-thread-count training determinism carry over unchanged.
 #pragma once
@@ -39,7 +46,7 @@
 namespace dl2f::temporal {
 
 /// Feature channels each window contributes to the sequence tensor.
-inline constexpr std::int32_t kChannelsPerWindow = 7;
+inline constexpr std::int32_t kChannelsPerWindow = 8;
 
 /// Upper bound on TemporalDetectorConfig::sequence_length — lets callers
 /// stage sequence views through fixed stack buffers.
@@ -74,7 +81,7 @@ class TemporalDetector {
   [[nodiscard]] nn::Sequential& model() noexcept { return model_; }
   [[nodiscard]] const nn::Sequential& model() const noexcept { return model_; }
 
-  /// Shape of one preprocessed sequence: (T * 7, rows, cols - 1).
+  /// Shape of one preprocessed sequence: (T * 8, rows, cols - 1).
   [[nodiscard]] nn::Tensor3 input_shape() const;
 
   /// Flattened per-window embedding width D after conv/pool (the

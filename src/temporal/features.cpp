@@ -21,8 +21,8 @@ void pressure_rate_into(const monitor::FrameSample& s, float* dst, std::size_t n
   for (std::size_t i = 0; i < n; ++i) dst[i] *= inv_cycles;
 }
 
-void sources_plane_into(const monitor::FrameSample& s, const MeshShape& mesh, float* dst,
-                        std::size_t n) {
+void sources_rate_into(const monitor::FrameSample& s, const MeshShape& mesh, float* dst,
+                       std::size_t n) {
   const auto plane_cols = mesh.cols() - 1;
   assert(n == static_cast<std::size_t>(mesh.rows() * plane_cols));
   std::fill(dst, dst + n, 0.0F);
@@ -34,9 +34,17 @@ void sources_plane_into(const monitor::FrameSample& s, const MeshShape& mesh, fl
     const Coord c = mesh.coord_of(id);
     const auto col = std::min(c.x, plane_cols - 1);
     float& cell = dst[static_cast<std::size_t>(c.y * plane_cols + col)];
-    const float rate = squash(kSourceGain * s.ni_load[static_cast<std::size_t>(id)] * inv_cycles);
+    const float rate = kSourceGain * s.ni_load[static_cast<std::size_t>(id)] * inv_cycles;
     cell = std::max(cell, rate);
   }
+}
+
+void sources_plane_into(const monitor::FrameSample& s, const MeshShape& mesh, float* dst,
+                        std::size_t n) {
+  sources_rate_into(s, mesh, dst, n);
+  // squash(max(a, b)) == max(squash(a), squash(b)) for a strictly monotone
+  // squash, so this matches folding squashed rates bit for bit.
+  for (std::size_t i = 0; i < n; ++i) dst[i] = squash(dst[i]);
 }
 
 std::vector<NodeId> source_suspects(monitor::SequenceView seq, const MeshShape& mesh,

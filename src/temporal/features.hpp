@@ -67,10 +67,19 @@ inline constexpr float kSourceGain = 4.0F;
 /// that plane size.
 void pressure_rate_into(const monitor::FrameSample& s, float* dst, std::size_t n);
 
-/// Squashed per-source injection plane: node (x, y) maps to plane cell
-/// (row y, col min(x, cols-2)) so the rightmost two mesh columns fold into
-/// the last frame column by max — frames are rows x (cols-1), one column
-/// narrower than the mesh. Missing telemetry (empty ni_load) yields zeros.
+/// RAW (gained, pre-squash) per-source injection-rate plane: node (x, y)
+/// maps to plane cell (row y, col min(x, cols-2)) so the rightmost two mesh
+/// columns fold into the last frame column by max — frames are
+/// rows x (cols-1), one column narrower than the mesh. Missing telemetry
+/// (empty ni_load) yields zeros. The raw plane feeds the rate-trend
+/// (windowed slope) channel: a stealth ramp's slope is linear here but
+/// compressed to invisibility after the squash.
+void sources_rate_into(const monitor::FrameSample& s, const MeshShape& mesh, float* dst,
+                       std::size_t n);
+
+/// Squashed per-source injection plane: squash() over sources_rate_into.
+/// Because squash is strictly monotone, squashing after the max-fold is
+/// bitwise identical to max-folding squashed rates.
 void sources_plane_into(const monitor::FrameSample& s, const MeshShape& mesh, float* dst,
                         std::size_t n);
 

@@ -51,6 +51,13 @@ class Simulation {
   [[nodiscard]] noc::Mesh& mesh() noexcept { return mesh_; }
   [[nodiscard]] const noc::Mesh& mesh() const noexcept { return mesh_; }
 
+  /// Installed generators in insertion order (non-owning view) — lets a
+  /// driver recover a typed handle after a Scenario installed it, e.g. the
+  /// serving bench dynamic_casting for its workload::RequestReplyWorkload.
+  [[nodiscard]] const std::vector<std::unique_ptr<TrafficGenerator>>& generators() const noexcept {
+    return generators_;
+  }
+
  private:
   noc::Mesh mesh_;
   std::vector<std::unique_ptr<TrafficGenerator>> generators_;

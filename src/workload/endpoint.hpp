@@ -1,0 +1,144 @@
+// Request/reply endpoint pairs driven by a TraceSource.
+//
+// One RequestReplyWorkload models BOTH sides of the netsim cpu.cpp /
+// memory.cpp split: the CPU-side endpoints issue REQ packets from the
+// trace (closed-loop against a per-source outstanding-request window, or
+// open-loop on the pure arrival clock), and the memory-side endpoints turn
+// each delivered request into a REPLY packet after a fixed service
+// latency. It is a traffic::TrafficGenerator (ticked before the mesh
+// advances) and a noc::PacketDeliveryListener (told about every tail-flit
+// ejection), so request->reply causality flows through real delivered
+// packets — not through a schedule computed outside the network.
+//
+// Backpressure is honored on both sides: a closed-loop client stops
+// issuing when its outstanding window is full OR its NI source queue is
+// deep, and a memory endpoint defers ready replies while its own NI queue
+// is backed up. Because replies route through the ordinary injection path,
+// quarantining an innocent client (false fence) drops its requests at the
+// NI, its outstanding window never drains, and every dependent stalls —
+// the visible cost a serving SLO must price in.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "noc/mesh.hpp"
+#include "traffic/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace dl2f::workload {
+
+struct RequestReplyConfig {
+  bool open_loop = false;          ///< issue on the arrival clock, no window
+  std::int32_t window = 8;         ///< max outstanding requests per client (closed-loop)
+  std::size_t max_ni_queue = 4;    ///< NI backpressure threshold (queued packets at the source)
+  noc::Cycle service_latency = 24; ///< delivered request -> reply injection delay
+  std::int32_t reply_flits = 5;    ///< reply packet size (cache-line-like payload)
+};
+
+/// Aggregate counters; the serving bench snapshots this per window and
+/// diffs. All integers except the latency sum, so snapshots are exact.
+struct WorkloadStats {
+  std::int64_t requests_issued = 0;     ///< REQ packets handed to an NI
+  std::int64_t requests_dropped = 0;    ///< REQ packets dropped at a fenced NI
+  std::int64_t requests_delivered = 0;  ///< REQ tails ejected at a server
+  std::int64_t replies_issued = 0;      ///< REPLY packets handed to an NI
+  std::int64_t replies_dropped = 0;     ///< REPLY packets dropped at a fenced NI
+  std::int64_t replies_completed = 0;   ///< REPLY tails ejected back at the client
+  std::int64_t issue_stall_cycles = 0;  ///< client-cycles blocked by window/backpressure
+  std::int64_t reply_stall_cycles = 0;  ///< server-cycles a ready reply waited on backpressure
+  double reply_latency_sum = 0.0;       ///< sum over completed round trips (cycles)
+  noc::Cycle reply_latency_max = 0;
+};
+
+class RequestReplyWorkload final : public traffic::TrafficGenerator,
+                                   public noc::PacketDeliveryListener {
+ public:
+  RequestReplyWorkload(const MeshShape& mesh, std::unique_ptr<TraceSource> source,
+                       std::vector<NodeId> servers, const RequestReplyConfig& cfg);
+  ~RequestReplyWorkload() override;
+
+  RequestReplyWorkload(const RequestReplyWorkload&) = delete;
+  RequestReplyWorkload& operator=(const RequestReplyWorkload&) = delete;
+
+  void tick(noc::Mesh& mesh) override;
+  void on_packet_delivered(const noc::Flit& tail, noc::Cycle now) override;
+
+  [[nodiscard]] const WorkloadStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const RequestReplyConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::vector<NodeId>& servers() const noexcept { return servers_; }
+
+  /// Requests in flight (issued, reply not yet delivered) for one client.
+  [[nodiscard]] std::int32_t outstanding(NodeId client) const {
+    return outstanding_[static_cast<std::size_t>(client)];
+  }
+  /// Trace records due but not yet issued at one client.
+  [[nodiscard]] std::size_t pending_requests(NodeId client) const {
+    return pending_[static_cast<std::size_t>(client)].size();
+  }
+
+  /// Round-trip (request issue -> reply delivery) latency percentile over
+  /// all completed replies, nearest-rank, exact overflow maximum.
+  [[nodiscard]] double reply_latency_percentile(double q) const noexcept;
+  [[nodiscard]] double reply_latency_mean() const noexcept {
+    return stats_.replies_completed > 0
+               ? stats_.reply_latency_sum / static_cast<double>(stats_.replies_completed)
+               : 0.0;
+  }
+  /// 1-cycle-bucket round-trip latency histogram (overflow in last bucket);
+  /// the serving bench diffs snapshots of this for per-phase percentiles.
+  [[nodiscard]] const std::vector<std::int64_t>& reply_latency_histogram() const noexcept {
+    return latency_hist_;
+  }
+
+ private:
+  /// A delivered request waiting out its service latency at a server.
+  struct PendingReply {
+    noc::Cycle ready;        ///< earliest injection cycle
+    NodeId client;           ///< where the reply goes
+    noc::Cycle issue_cycle;  ///< when the client issued the request
+  };
+  /// In-flight metadata keyed by PacketId (lookup/erase only — never
+  /// iterated, so the unordered container does not threaten determinism).
+  struct RequestMeta {
+    noc::Cycle issue_cycle;
+  };
+  struct ReplyMeta {
+    NodeId client;
+    noc::Cycle issue_cycle;
+  };
+
+  void serve_replies(noc::Mesh& mesh, noc::Cycle now);
+  void issue_requests(noc::Mesh& mesh, noc::Cycle now);
+  void pull_due_records(noc::Cycle now);
+
+  MeshShape mesh_shape_;
+  std::unique_ptr<TraceSource> source_;
+  std::vector<NodeId> servers_;
+  std::vector<char> is_server_;
+  RequestReplyConfig cfg_;
+  WorkloadStats stats_;
+
+  /// Due-but-unissued records per client (head-of-line blocking is per
+  /// client, never across clients).
+  std::vector<std::deque<TraceRecord>> pending_;
+  std::vector<std::int32_t> outstanding_;
+  std::vector<std::deque<PendingReply>> reply_queues_;  ///< per server, FIFO by ready cycle
+
+  std::unordered_map<noc::PacketId, RequestMeta> request_meta_;
+  std::unordered_map<noc::PacketId, ReplyMeta> reply_meta_;
+
+  static constexpr std::size_t kLatencyBuckets = 4096;
+  std::vector<std::int64_t> latency_hist_;
+
+  TraceRecord peeked_;
+  bool have_peeked_ = false;
+  bool source_done_ = false;
+  noc::Mesh* registered_mesh_ = nullptr;
+};
+
+}  // namespace dl2f::workload

@@ -1,0 +1,65 @@
+#include "workload/families.hpp"
+
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace dl2f::workload {
+
+std::unique_ptr<RequestReplyWorkload> make_trace_workload(TraceWorkloadKind kind,
+                                                          const MeshShape& mesh,
+                                                          std::uint64_t seed) {
+  const auto servers = corner_servers(mesh);
+  std::unique_ptr<TraceSource> source;
+  RequestReplyConfig cfg;
+  switch (kind) {
+    case TraceWorkloadKind::TraceReplay: {
+      BurstyTraceSource::Config src;
+      src.mesh = mesh;
+      src.servers = servers;
+      src.quiet_cycles = 600;
+      src.burst_cycles = 200;
+      src.quiet_rate = 0.004;
+      src.burst_rate = 0.020;
+      source = std::make_unique<BurstyTraceSource>(src, mix64(seed ^ 0x7261636572ULL));
+      cfg.open_loop = false;
+      cfg.window = 8;
+      cfg.service_latency = 20;
+      cfg.reply_flits = 5;
+      break;
+    }
+    case TraceWorkloadKind::OpenLoopBurst: {
+      MarkovOnOffTraceSource::Config src;
+      src.mesh = mesh;
+      src.servers = servers;
+      src.p_on = 0.002;
+      src.p_off = 0.010;
+      src.on_rate = 0.080;
+      source = std::make_unique<MarkovOnOffTraceSource>(src, mix64(seed ^ 0x6f70656eULL));
+      cfg.open_loop = true;
+      cfg.service_latency = 16;
+      cfg.reply_flits = 3;
+      break;
+    }
+    case TraceWorkloadKind::MemHog: {
+      BurstyTraceSource::Config src;
+      src.mesh = mesh;
+      src.servers = servers;
+      // quiet == burst: constant-rate memory stream near the corner tiles'
+      // reply bandwidth (60 clients x 0.015 req/cycle x 4 reply flits
+      // / 4 servers ~ 0.9 flits/cycle/server on an 8x8 mesh).
+      src.quiet_cycles = 400;
+      src.burst_cycles = 400;
+      src.quiet_rate = 0.015;
+      src.burst_rate = 0.015;
+      source = std::make_unique<BurstyTraceSource>(src, mix64(seed ^ 0x6d656d686f67ULL));
+      cfg.open_loop = false;
+      cfg.window = 12;
+      cfg.service_latency = 24;
+      cfg.reply_flits = 4;
+      break;
+    }
+  }
+  return std::make_unique<RequestReplyWorkload>(mesh, std::move(source), servers, cfg);
+}
+
+}  // namespace dl2f::workload

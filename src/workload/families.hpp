@@ -1,0 +1,51 @@
+// The three trace-driven benign workload families registered on the
+// campaign's workload axis alongside the STP and PARSEC benchmarks:
+//
+//   trace-replay   closed-loop phase-structured bursts (BurstyTraceSource):
+//                  clients issue requests to corner memory tiles under an
+//                  outstanding window, bursts alternating with quiet phases.
+//   openloop-burst open-loop Markov on/off trains (MarkovOnOffTraceSource):
+//                  on-phase clients push on the pure arrival clock, so
+//                  overload lands in the NI source queues instead of being
+//                  absorbed by a window.
+//   memhog         closed-loop constant high-rate memory stream with large
+//                  replies — sustained near-saturation pressure on the
+//                  corner memory tiles, the benign pattern most easily
+//                  mistaken for a hotspot flood.
+//
+// Rates are tuned benign: aggregate reply demand stays at or below each
+// memory tile's 1 flit/cycle NI bandwidth (memhog sits deliberately at the
+// edge), so the detector's distinguishing signal remains flooding pressure.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "common/geometry.hpp"
+#include "workload/endpoint.hpp"
+
+namespace dl2f::workload {
+
+enum class TraceWorkloadKind : std::uint8_t { TraceReplay = 0, OpenLoopBurst = 1, MemHog = 2 };
+
+inline constexpr std::array<TraceWorkloadKind, 3> kAllTraceWorkloads{
+    TraceWorkloadKind::TraceReplay, TraceWorkloadKind::OpenLoopBurst, TraceWorkloadKind::MemHog};
+
+[[nodiscard]] constexpr std::string_view to_string(TraceWorkloadKind k) noexcept {
+  switch (k) {
+    case TraceWorkloadKind::TraceReplay: return "trace-replay";
+    case TraceWorkloadKind::OpenLoopBurst: return "openloop-burst";
+    case TraceWorkloadKind::MemHog: return "memhog";
+  }
+  return "?";
+}
+
+/// Build the generator for one family: a RequestReplyWorkload over the
+/// family's TraceSource, servers at the mesh corners, deterministically
+/// seeded (same convention as every other benign generator).
+[[nodiscard]] std::unique_ptr<RequestReplyWorkload> make_trace_workload(TraceWorkloadKind kind,
+                                                                        const MeshShape& mesh,
+                                                                        std::uint64_t seed);
+
+}  // namespace dl2f::workload

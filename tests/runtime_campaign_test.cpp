@@ -134,6 +134,33 @@ TEST(Campaign, ThreeAxisGridIsByteIdenticalAcrossWorkerThreadCounts) {
   EXPECT_NE(one.find("workload=X264"), std::string::npos);
 }
 
+TEST(Campaign, TraceWorkloadFamiliesAreByteIdenticalAcrossThreadCounts) {
+  // The request/reply workloads (src/workload/) carry much more internal
+  // state than the synthetic generators — outstanding windows, reply
+  // queues, delivery listeners — so they get their own worker-count
+  // determinism check over the full new-family axis.
+  const ModelSnapshot snap = deterministic_snapshot();
+  CampaignConfig cfg = small_campaign();
+  cfg.families = {"static", "pulse"};
+  cfg.workloads = monitor::trace_benchmarks();
+  cfg.seeds = {1, 2};
+  cfg.windows = 3;
+
+  cfg.threads = 1;
+  const std::string one = run_campaign(cfg, snap).serialize();
+  cfg.threads = 2;
+  const std::string two = run_campaign(cfg, snap).serialize();
+  cfg.threads = 4;
+  const std::string four = run_campaign(cfg, snap).serialize();
+
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("workload=trace-replay"), std::string::npos);
+  EXPECT_NE(one.find("workload=openloop-burst"), std::string::npos);
+  EXPECT_NE(one.find("workload=memhog"), std::string::npos);
+}
+
 TEST(Campaign, EmptyWorkloadAxisFallsBackToParamsBenign) {
   const ModelSnapshot snap = deterministic_snapshot();
   CampaignConfig cfg = small_campaign();  // cfg.workloads stays empty

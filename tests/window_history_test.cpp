@@ -122,7 +122,7 @@ TEST_F(SequenceFeatures, PerWindowChannelsBitwiseMatchIndependentRecompute) {
   const nn::Tensor3 x = detector.preprocess({view.data(), view.size()});
 
   const auto hw = static_cast<std::size_t>(kRows * kCols);
-  std::vector<float> raw_prev(hw), raw(hw), sources(hw);
+  std::vector<float> raw_prev(hw), raw(hw), sources(hw), src_raw(hw), src_raw_prev(hw);
   for (std::int32_t t = 0; t < 4; ++t) {
     const monitor::FrameSample& s = windows[static_cast<std::size_t>(t)];
     const std::int32_t ch0 = t * kChannelsPerWindow;
@@ -152,12 +152,19 @@ TEST_F(SequenceFeatures, PerWindowChannelsBitwiseMatchIndependentRecompute) {
     raw_prev = raw;
 
     // Channel 6: the (already squashed) per-source injection plane.
+    // Channel 7: the signed squashed trend of the RAW source-rate plane
+    // (exactly zero at the first position).
     sources_plane_into(s, MeshShape::square(kMeshSide), sources.data(), hw);
+    sources_rate_into(s, MeshShape::square(kMeshSide), src_raw.data(), hw);
     for (std::int32_t r = 0; r < kRows; ++r) {
       for (std::int32_t c = 0; c < kCols; ++c) {
-        EXPECT_EQ(x.at(ch0 + 6, r, c), sources[static_cast<std::size_t>(r * kCols + c)]);
+        const auto i = static_cast<std::size_t>(r * kCols + c);
+        EXPECT_EQ(x.at(ch0 + 6, r, c), sources[i]);
+        const float expected_trend = t == 0 ? 0.0F : squash_signed(src_raw[i] - src_raw_prev[i]);
+        EXPECT_EQ(x.at(ch0 + 7, r, c), expected_trend);
       }
     }
+    src_raw_prev = src_raw;
   }
 }
 
@@ -169,7 +176,8 @@ TEST_F(SequenceFeatures, SameWindowYieldsIdenticalPlanesAtAnySequencePosition) {
   const nn::Tensor3 x = detector.preprocess({view.data(), view.size()});
 
   // Positions 1 and 3 hold the same window: every pure per-window channel
-  // (all but the cross-window delta, channel 5) must be bitwise equal.
+  // (all but the cross-window deltas, channels 5 and 7) must be bitwise
+  // equal.
   const auto hw = static_cast<std::size_t>(kRows * kCols);
   for (const std::int32_t ch : {0, 1, 2, 3, 4, 6}) {
     const float* a = x.data().data() + static_cast<std::size_t>(1 * kChannelsPerWindow + ch) * hw;
@@ -183,14 +191,15 @@ TEST_F(SequenceFeatures, WarmupPaddingZeroesTheDeltaChannelEverywhere) {
   monitor::WindowHistory h(4);
   h.push(make_sample(0.5F));
 
-  // One live window repeated four times: every delta plane is exactly 0,
-  // and every other plane equals position 0's.
+  // One live window repeated four times: every delta/trend plane is
+  // exactly 0, and every other plane equals position 0's.
   const nn::Tensor3 x = detector.preprocess(h.view());
   const auto hw = static_cast<std::size_t>(kRows * kCols);
   for (std::int32_t t = 0; t < 4; ++t) {
     for (std::int32_t r = 0; r < kRows; ++r) {
       for (std::int32_t c = 0; c < kCols; ++c) {
         EXPECT_EQ(x.at(t * kChannelsPerWindow + 5, r, c), 0.0F);
+        EXPECT_EQ(x.at(t * kChannelsPerWindow + 7, r, c), 0.0F);
       }
     }
     for (const std::int32_t ch : {0, 1, 2, 3, 4, 6}) {
