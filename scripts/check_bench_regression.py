@@ -27,43 +27,75 @@ higher-is-better throughput floored at threshold_ratio * reference; a
 {"max": N} entry is a lower-is-better count with a HARD ceiling of N
 (no derating — e.g. blind_spots, where a regression that reopens
 detector blind spots must fail CI outright).
+
+A baseline key that does not resolve to a number in the measured JSON is
+itself a gate failure with a message naming where the path broke — a
+typo'd key (on either side) must never silently skip a gate.
 """
 import json
 import sys
 
 
 def resolve(obj, dotted_path):
-    """Walk a dot-separated key path into nested dicts."""
+    """Walk a dot-separated key path into nested dicts.
+
+    Returns (value, None) on success or (None, error_message) naming the
+    first key that failed to resolve and the keys available at that
+    point, so a baseline/artifact key mismatch is diagnosable at a
+    glance instead of silently skipping the gate.
+    """
     cur = obj
+    seen = []
     for key in dotted_path.split("."):
-        if not isinstance(cur, dict) or key not in cur:
-            return None
+        if not isinstance(cur, dict):
+            return None, (f"'{'.'.join(seen)}' is not an object, cannot descend "
+                          f"into '{key}'")
+        if key not in cur:
+            where = f"under '{'.'.join(seen)}'" if seen else "at top level"
+            available = ", ".join(sorted(cur.keys())) or "<none>"
+            return None, (f"key '{key}' not found {where} "
+                          f"(available: {available})")
+        seen.append(key)
         cur = cur[key]
-    return cur
+    return cur, None
 
 
-def main():
-    baseline_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_baseline.json"
-    with open(baseline_path) as f:
-        baseline = json.load(f)
+def check(baseline, artifacts):
+    """Evaluate every tracked metric.
 
+    `artifacts` maps bench file name -> parsed JSON (or None when the
+    file was unreadable). Returns (rows, failures); rows are
+    (bench_file, path, kind, bound, value, ok) tuples for the report and
+    failures are human-readable messages. Pure function of its inputs —
+    the unit tests drive it directly.
+    """
     threshold = float(baseline.get("threshold_ratio", 0.75))
     failures = []
     rows = []
 
     for bench_file, metrics in baseline["benches"].items():
-        try:
-            with open(bench_file) as f:
-                current = json.load(f)
-        except FileNotFoundError:
+        current = artifacts.get(bench_file)
+        if current is None:
             failures.append(f"{bench_file}: artifact missing (bench did not run?)")
             continue
         for path, reference in metrics.items():
-            value = resolve(current, path)
-            if not isinstance(value, (int, float)):
-                failures.append(f"{bench_file}:{path}: metric missing from artifact")
+            value, err = resolve(current, path)
+            if err is not None:
+                failures.append(f"{bench_file}:{path}: {err} — a typo'd baseline "
+                                "key must not silently skip a gate")
                 continue
-            if isinstance(reference, dict) and "max" in reference:
+            # bool is an int subclass; a true/false here is a schema bug,
+            # not a measurement.
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                failures.append(f"{bench_file}:{path}: resolved to "
+                                f"{type(value).__name__}, expected a number")
+                continue
+            if isinstance(reference, dict):
+                if "max" not in reference:
+                    failures.append(f"{bench_file}:{path}: baseline entry "
+                                    f"{reference!r} has no 'max' key (only "
+                                    "{\"max\": N} dict entries are supported)")
+                    continue
                 # Lower-is-better count with a hard ceiling, no derating.
                 ceiling = float(reference["max"])
                 ok = value <= ceiling
@@ -81,6 +113,24 @@ def main():
                     f"{bench_file}:{path}: {value:.1f} < floor {floor:.1f} "
                     f"({threshold:.0%} of reference {reference:.1f})"
                 )
+    return rows, failures
+
+
+def main():
+    baseline_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_baseline.json"
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    artifacts = {}
+    for bench_file in baseline["benches"]:
+        try:
+            with open(bench_file) as f:
+                artifacts[bench_file] = json.load(f)
+        except FileNotFoundError:
+            artifacts[bench_file] = None
+
+    threshold = float(baseline.get("threshold_ratio", 0.75))
+    rows, failures = check(baseline, artifacts)
 
     name_w = max((len(f"{b}:{p}") for b, p, *_ in rows), default=20)
     print(f"bench-regression gate (floor = {threshold:.0%} of reference; "
@@ -93,7 +143,7 @@ def main():
               f"got {value:>12.1f}  {verdict}")
 
     if failures:
-        print(f"\nFAIL: {len(failures)} bench regression(s):", file=sys.stderr)
+        print(f"\nFAIL: {len(failures)} bench gate failure(s):", file=sys.stderr)
         for msg in failures:
             print(f"  {msg}", file=sys.stderr)
         return 1

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_bench_regression.py.
+
+The critical property: a baseline key that does not resolve in the
+measured artifact is a loud gate FAILURE, never a silent skip — a typo
+on either side must not quietly disable a regression gate.
+
+Run directly or via the `bench_gate_selftest` ctest entry.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import check_bench_regression as gate  # noqa: E402
+
+BASELINE = {
+    "threshold_ratio": 0.75,
+    "benches": {
+        "BENCH_x.json": {
+            "wps.32": 100.0,
+            "blind_spots": {"max": 7},
+        }
+    },
+}
+
+
+def run(artifact):
+    return gate.check(BASELINE, {"BENCH_x.json": artifact})
+
+
+class ResolveTests(unittest.TestCase):
+    def test_resolves_nested_path(self):
+        value, err = gate.resolve({"a": {"b": 3.5}}, "a.b")
+        self.assertIsNone(err)
+        self.assertEqual(value, 3.5)
+
+    def test_missing_key_names_break_point_and_available_keys(self):
+        value, err = gate.resolve({"a": {"c": 1}}, "a.b")
+        self.assertIsNone(value)
+        self.assertIn("key 'b' not found under 'a'", err)
+        self.assertIn("available: c", err)
+
+    def test_descending_into_scalar_is_an_error(self):
+        value, err = gate.resolve({"a": 5}, "a.b")
+        self.assertIsNone(value)
+        self.assertIn("'a' is not an object", err)
+
+
+class CheckTests(unittest.TestCase):
+    def test_passing_metrics(self):
+        rows, failures = run({"wps": {"32": 90.0}, "blind_spots": 7})
+        self.assertEqual(failures, [])
+        self.assertEqual(len(rows), 2)
+        self.assertTrue(all(ok for *_, ok in rows))
+
+    def test_floor_regression_fails(self):
+        rows, failures = run({"wps": {"32": 74.9}, "blind_spots": 0})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("74.9 < floor 75.0", failures[0])
+
+    def test_hard_ceiling_has_no_derating(self):
+        _rows, failures = run({"wps": {"32": 100.0}, "blind_spots": 8})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("8 > ceiling 7", failures[0])
+
+    def test_missing_baseline_key_is_a_failure_not_a_skip(self):
+        # The artifact renamed "wps" -> "windows_per_sec": the stale
+        # baseline key must FAIL the gate with a diagnosable message.
+        rows, failures = run({"windows_per_sec": {"32": 500.0}, "blind_spots": 0})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("BENCH_x.json:wps.32", failures[0])
+        self.assertIn("key 'wps' not found", failures[0])
+        self.assertIn("available: blind_spots, windows_per_sec", failures[0])
+        # The resolvable metric is still reported alongside the failure.
+        self.assertEqual(len(rows), 1)
+
+    def test_missing_artifact_is_a_failure(self):
+        _rows, failures = gate.check(BASELINE, {"BENCH_x.json": None})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("artifact missing", failures[0])
+
+    def test_non_numeric_value_is_a_failure(self):
+        _rows, failures = run({"wps": {"32": "fast"}, "blind_spots": 0})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("expected a number", failures[0])
+
+    def test_bool_value_is_rejected(self):
+        # bool subclasses int; True must not pass as the measurement 1.0.
+        _rows, failures = run({"wps": {"32": True}, "blind_spots": 0})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("resolved to bool", failures[0])
+
+    def test_malformed_reference_dict_is_a_config_failure(self):
+        baseline = {"threshold_ratio": 0.75,
+                    "benches": {"BENCH_x.json": {"wps.32": {"min": 10}}}}
+        _rows, failures = gate.check(baseline, {"BENCH_x.json": {"wps": {"32": 5}}})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("no 'max' key", failures[0])
+
+
+class RepoBaselineTests(unittest.TestCase):
+    def test_committed_baseline_paths_resolve_in_committed_artifacts(self):
+        # Every key in BENCH_baseline.json must resolve in the committed
+        # full-run artifacts — catches a baseline/bench key drift at
+        # ctest time, before CI ever runs the benches.
+        import json
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        with open(os.path.join(root, "BENCH_baseline.json")) as f:
+            baseline = json.load(f)
+        artifacts = {}
+        for bench_file in baseline["benches"]:
+            with open(os.path.join(root, bench_file)) as f:
+                artifacts[bench_file] = json.load(f)
+        _rows, failures = gate.check(baseline, artifacts)
+        resolution_failures = [m for m in failures if "not found" in m
+                               or "expected a number" in m]
+        self.assertEqual(resolution_failures, [],
+                         "baseline keys no longer resolve in committed artifacts")
+
+
+if __name__ == "__main__":
+    unittest.main()

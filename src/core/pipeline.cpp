@@ -5,6 +5,8 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "common/debug_hooks.hpp"
+
 namespace dl2f::core {
 
 PipelineEngine::PipelineEngine(const Dl2FenceConfig& cfg)
@@ -54,12 +56,20 @@ void PipelineSession::localize_into(const monitor::FrameSample& sample, RoundRes
   const DoSLocalizer& localizer = engine_->localizer();
   const auto& frames = cfg.localizer.feature == Feature::Vco ? sample.vco : sample.boc;
 
-  // One batched segmentation pass over the four directional frames.
-  nn::Tensor4& in = localizer_ctx_.input(static_cast<std::int32_t>(kNumMeshDirections));
-  for (std::size_t d = 0; d < kNumMeshDirections; ++d) {
-    localizer.preprocess_into(frames[d], in, static_cast<std::int32_t>(d));
+  // One batched segmentation pass over the four directional frames. The
+  // staging + inference region runs entirely in the session's
+  // preallocated arena — a contract the Debug-only scope enforces (the
+  // binary-frame assembly below it allocates by design).
+  const nn::Tensor4* seg_out = nullptr;
+  {
+    const dbg::NoAllocScope no_alloc("PipelineSession::localize_into inference");
+    nn::Tensor4& in = localizer_ctx_.input(static_cast<std::int32_t>(kNumMeshDirections));
+    for (std::size_t d = 0; d < kNumMeshDirections; ++d) {
+      localizer.preprocess_into(frames[d], in, static_cast<std::int32_t>(d));
+    }
+    seg_out = &localizer.model().infer_batch(localizer_ctx_);
   }
-  const nn::Tensor4& seg = localizer.model().infer_batch(localizer_ctx_);
+  const nn::Tensor4& seg = *seg_out;
 
   const float threshold = cfg.localizer.threshold;
   monitor::DirectionalFrames binary;
@@ -83,6 +93,9 @@ void PipelineSession::localize_into(const monitor::FrameSample& sample, RoundRes
 
 void PipelineSession::detect_chunk(monitor::WindowBatch chunk, std::size_t base,
                                    std::vector<float>& probabilities) {
+  // The whole chunk — staging, batched inference, probability readout —
+  // runs in the preallocated arena: zero allocations, checked in Debug.
+  const dbg::NoAllocScope no_alloc("PipelineSession::detect_chunk");
   const DoSDetector& detector = engine_->detector();
   nn::Tensor4& in = detector_ctx_.input(static_cast<std::int32_t>(chunk.size()));
   for (std::size_t i = 0; i < chunk.size(); ++i) {
@@ -128,6 +141,7 @@ std::vector<float> PipelineSession::detect_batch(monitor::WindowBatch samples) {
 }
 
 float PipelineSession::detect_sequence(monitor::SequenceView seq) {
+  const dbg::NoAllocScope no_alloc("PipelineSession::detect_sequence");
   const temporal::TemporalDetector& head = engine_->temporal();
   nn::Tensor4& in = temporal_ctx_.input(1);
   head.preprocess_into(seq, in, 0);

@@ -1,3 +1,9 @@
+// ACCUM-ORDER: every kernel in this TU owns one scalar accumulator per
+// output element and walks its reduction index strictly ascending (bias
+// first, then k = 0..K-1); cache blocking is over output columns only
+// and thread parallelism lives above the kernels. The full contract and
+// the +/-0 padding argument are in gemm.hpp; the bitwise-parity tests in
+// tests/batch_train_test.cpp pin it on every build.
 #include "nn/gemm.hpp"
 
 #include <algorithm>

@@ -4,7 +4,9 @@
 // through the kernels below.
 //
 // ---------------------------------------------------------------------------
-// Blocking and accumulation-order invariants (the determinism contract)
+// ACCUM-ORDER: blocking and accumulation-order invariants (the
+// determinism contract — tools/lint/determinism_lint.py requires every
+// GEMM-path TU to carry one of these blocks)
 //
 //  * Every output element is ONE scalar accumulator updated with the
 //    reduction index strictly ascending: C[i][j] = init + sum_k A[i][k] *

@@ -93,6 +93,11 @@ class Layer {
   /// Learnable parameter blocks (empty for activations/pooling).
   [[nodiscard]] virtual std::vector<Param*> params() { return {}; }
 
+  /// params().size() without materializing the vector — backward_batch
+  /// runs under a NoAllocScope, so it must size its per-layer gradient
+  /// views allocation-free. Overrides must match params() exactly.
+  [[nodiscard]] virtual std::size_t num_params() const { return 0; }
+
   /// Randomize parameters (no-op for parameterless layers).
   virtual void init_weights(Rng& /*rng*/) {}
 

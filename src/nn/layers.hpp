@@ -27,6 +27,7 @@ class Conv2D final : public Layer {
                       bool need_input_grad) const override;
   [[nodiscard]] std::size_t infer_scratch_floats(const Tensor3& input_shape) const override;
   [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
+  [[nodiscard]] std::size_t num_params() const override { return 2; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
 
@@ -129,6 +130,7 @@ class Dense final : public Layer {
                       bool need_input_grad) const override;
   [[nodiscard]] std::size_t infer_scratch_floats(const Tensor3& input_shape) const override;
   [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
+  [[nodiscard]] std::size_t num_params() const override { return 2; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
 
@@ -162,6 +164,7 @@ class TimeDistributedConv2D final : public Layer {
                       bool need_input_grad) const override;
   [[nodiscard]] std::size_t infer_scratch_floats(const Tensor3& input_shape) const override;
   [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
+  [[nodiscard]] std::size_t num_params() const override { return 2; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
 
@@ -208,6 +211,7 @@ class TemporalConv1D final : public Layer {
                       Tensor4& grad_in, std::span<float* const> param_grads, float* scratch,
                       bool need_input_grad) const override;
   [[nodiscard]] std::vector<Param*> params() override { return {&weights_, &bias_}; }
+  [[nodiscard]] std::size_t num_params() const override { return 2; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
 
@@ -244,6 +248,7 @@ class DepthwiseSeparableConv2D final : public Layer {
   [[nodiscard]] std::vector<Param*> params() override {
     return {&depth_weights_, &point_weights_, &bias_};
   }
+  [[nodiscard]] std::size_t num_params() const override { return 3; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
 

@@ -4,8 +4,14 @@
 // per-sample reference forward/backward in layers.cpp keeps the project
 // defaults — the reference must stay the honest pre-GEMM baseline that
 // bench_train measures speedups against. Every function here is bitwise-
-// identical per sample to its layers.cpp reference counterpart; the
-// accumulation-order reasoning lives in nn/gemm.hpp.
+// identical per sample to its layers.cpp reference counterpart.
+//
+// ACCUM-ORDER: every lowering in this TU preserves the reference tap
+// order exactly — im2col/im2row rows are packed in forward()'s (i, dy,
+// dx) order, sample panels keep per-sample accumulator chains intact,
+// and all reductions delegate to the gemm.hpp kernels, which accumulate
+// each output element with the reduction index strictly ascending (see
+// the contract block in nn/gemm.hpp).
 #include <algorithm>
 #include <cmath>
 #include <limits>

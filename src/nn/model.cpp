@@ -48,7 +48,7 @@ void Sequential::backward_batch(InferenceContext& ctx, GradientBuffer& grads) co
   std::size_t block = grads.blocks.size();
   for (std::size_t l = layers_.size(); l-- > 0;) {
     Layer& layer = *layers_[l];
-    const std::size_t nparams = layer.params().size();
+    const std::size_t nparams = layer.num_params();
     assert(block >= nparams);
     block -= nparams;
     float* param_ptrs[4] = {nullptr, nullptr, nullptr, nullptr};

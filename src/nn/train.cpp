@@ -1,6 +1,8 @@
 #include "nn/train.hpp"
 
 #include <algorithm>
+
+#include "common/debug_hooks.hpp"
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -145,6 +147,11 @@ void batch_train(Sequential& model, Optimizer& optimizer, const Tensor3& input_s
           [&](std::int32_t t, std::int32_t worker) {
             InferenceContext& ctx = contexts[static_cast<std::size_t>(worker)];
             ctx.bind_train(model, input_shape, kGradSliceSamples);
+            // Past the (idempotent) binding, the whole slice — staging,
+            // batched forward, loss kernels, batched backward — runs in
+            // this worker's arena and the preallocated slice gradient
+            // buffers: zero allocations, checked in Debug builds.
+            const dbg::NoAllocScope no_alloc("batch_train slice compute");
             const std::int32_t lo = t * kGradSliceSamples;
             const std::int32_t n = std::min(kGradSliceSamples, mini - lo);
             Tensor4& in = ctx.input(n);

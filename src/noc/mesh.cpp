@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/debug_hooks.hpp"
+
 namespace dl2f::noc {
 
 Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
@@ -120,6 +122,12 @@ void Mesh::run_network_interfaces() {
 }
 
 void Mesh::step() {
+  // Checked form of the arena invariant above: stepping never allocates,
+  // not even transiently — every scratch vector was reserved at its
+  // physical per-cycle maximum in the constructor. Debug-only; compiles
+  // away under NDEBUG (see common/debug_hooks.hpp).
+  const dbg::NoAllocScope no_alloc("Mesh::step");
+
   run_network_interfaces();
 
   // Two-phase update: every active router computes its transfers from the
@@ -155,7 +163,12 @@ void Mesh::step() {
       stats_.on_flit_ejected(f, now_);
       if (is_tail(f.type)) {
         stats_.on_packet_ejected(f, now_);
-        if (delivery_listener_ != nullptr) delivery_listener_->on_packet_delivered(f, now_);
+        if (delivery_listener_ != nullptr) {
+          // Documented exception to the no-alloc contract: the listener
+          // is external code (workload endpoints grow reply queues).
+          const dbg::AllocBypassScope external_callback;
+          delivery_listener_->on_packet_delivered(f, now_);
+        }
       }
       if (!f.malicious) {
         benign_stats_.on_flit_ejected(f, now_);

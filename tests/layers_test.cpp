@@ -177,6 +177,28 @@ TEST(Layers, InitWeightsIsDeterministicPerSeed) {
   EXPECT_EQ(a.params()[0]->value, b.params()[0]->value);
 }
 
+TEST(Layers, NumParamsMatchesParamsVectorForEveryLayerKind) {
+  // backward_batch sizes its gradient views from the allocation-free
+  // num_params(); a layer whose override drifts from params() corrupts
+  // the flat gradient-block layout. Pin every layer kind.
+  Conv2D conv(4, 8, 3, Padding::Valid);
+  Dense dense(336, 1);
+  TimeDistributedConv2D tdc(4, 4, 8, 3, Padding::Same);
+  TemporalConv1D tc1(4, 8, 8, 3);
+  DepthwiseSeparableConv2D dsc(8, 16, 3);
+  MaxPool2D pool(2);
+  ReLU relu;
+  Sigmoid sigmoid;
+  Flatten flatten;
+  for (Layer* layer : {static_cast<Layer*>(&conv), static_cast<Layer*>(&dense),
+                       static_cast<Layer*>(&tdc), static_cast<Layer*>(&tc1),
+                       static_cast<Layer*>(&dsc), static_cast<Layer*>(&pool),
+                       static_cast<Layer*>(&relu), static_cast<Layer*>(&sigmoid),
+                       static_cast<Layer*>(&flatten)}) {
+    EXPECT_EQ(layer->num_params(), layer->params().size()) << layer->name();
+  }
+}
+
 TEST(Layers, ParamCountsMatchPaperArchitectures) {
   // Detector conv: 4 -> 8 3x3 = 288 weights + 8 biases.
   Conv2D det_conv(4, 8, 3, Padding::Valid);

@@ -3,39 +3,11 @@
 // the zero-steady-state-allocation contract of Mesh::step.
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <stdexcept>
 
+#include "common/debug_hooks.hpp"
 #include "noc/mesh.hpp"
 #include "noc/router.hpp"
-
-// --------------------------------------------------------------------------
-// Global allocation counter: every operator new in this binary bumps it.
-// The zero-allocation test snapshots it around steady-state stepping.
-namespace {
-std::atomic<long>& alloc_count() {
-  static std::atomic<long> count{0};
-  return count;
-}
-}  // namespace
-
-void* operator new(std::size_t size) {
-  ++alloc_count();
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) {
-  ++alloc_count();
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-// --------------------------------------------------------------------------
 
 namespace dl2f::noc {
 namespace {
@@ -183,6 +155,11 @@ TEST(MeshAllocation, SteadyStateStepIsAllocationFree) {
   // crossings, ejections, stats, worklist churn — performs ZERO heap
   // allocations. (Injection itself may allocate in the source deques;
   // that happens outside Mesh::step by design.)
+  //
+  // The counter lives in common/debug_hooks.cpp (Debug-only operator-new
+  // replacement); under NDEBUG the explicit count check is skipped, but
+  // the NoAllocScope inside Mesh::step asserts the same contract live on
+  // every Debug/sanitize ctest run regardless of this test.
   MeshConfig cfg;
   cfg.shape = MeshShape::square(8);
   cfg.packet_length_flits = 5;
@@ -198,10 +175,15 @@ TEST(MeshAllocation, SteadyStateStepIsAllocationFree) {
   mesh.run(100);
   ASSERT_FALSE(mesh.drained());
 
-  const long before = alloc_count().load();
+  const std::int64_t before = dl2f::dbg::thread_allocation_count();
   mesh.run(300);
-  const long after = alloc_count().load();
+  const std::int64_t after = dl2f::dbg::thread_allocation_count();
+#ifndef NDEBUG
   EXPECT_EQ(after - before, 0) << "Mesh::step allocated in steady state";
+#else
+  EXPECT_EQ(before, -1);  // hooks compiled out; NoAllocScope covers Debug
+  EXPECT_EQ(after, -1);
+#endif
   EXPECT_GT(mesh.stats().flits_ejected(), 0);
 }
 

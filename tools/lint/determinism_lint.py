@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""Repo-invariant determinism linter for src/.
+
+Every reproduction claim in this repo rests on two hand-enforced
+invariants: campaigns and training are byte-identical at any thread
+count, and the NoC/inference hot paths accumulate floating-point values
+in a strictly defined order. This checker fails CI on the source-level
+hazards that historically break such invariants. It is deliberately
+AST-free: a comment/string-stripping scanner plus line/scope regexes,
+so it runs anywhere python3 runs and its behavior is fully captured by
+the fixture tests in tools/lint/tests/.
+
+Rules
+-----
+DL001  banned nondeterminism source: std::rand/srand/rand(),
+       std::random_device, any static Clock::now() call, getenv/setenv.
+       Randomness must come from dl2f's seeded Rng; time must come from
+       the simulated Cycle clock.
+DL002  pointer-keyed ordered container (std::map/std::set keyed on a
+       pointer type): iteration order is address order, which varies
+       run to run under ASLR and across allocators.
+DL003  iteration over std::unordered_map/std::unordered_set in a file
+       that participates in floating-point accumulation or campaign
+       aggregation: hash-bucket order is unspecified and feeds the FP
+       reduction order. Keyed lookups (find/erase/count/at) are fine.
+DL004  std::reduce / std::transform_reduce / std::execution policies:
+       these are licensed to reassociate FP reductions and to run
+       unsequenced, breaking bitwise determinism.
+DL005  std::atomic / std::atomic_ref on floating types: racing FP
+       updates commute only approximately; ordering is scheduler-bound.
+DL006  a TU that defines or calls a GEMM-path kernel (gemm*/im2col*/
+       im2row* token in code) must carry an `// ACCUM-ORDER:` contract
+       comment documenting its accumulation-order obligations.
+
+Suppressions
+------------
+Append `// lint-allow(DLxxx): <reason>` to the offending line (or put
+it on the immediately preceding line) to acknowledge a justified use.
+The reason is mandatory — a bare lint-allow is itself a finding.
+
+Usage
+-----
+    python3 tools/lint/determinism_lint.py [--root REPO_ROOT] [FILE...]
+
+With no FILE arguments, lints every *.cpp/*.hpp under REPO_ROOT/src
+(default: repository root inferred from this script's location). Exits
+0 when clean, 1 when findings were emitted, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# Directories (relative to the repo root, '/'-separated) whose files are
+# considered part of the FP-accumulation / campaign-aggregation scope
+# for DL003 regardless of content.
+FP_ACCUM_PATHS = (
+    "src/nn/",
+    "src/noc/",
+    "src/core/",
+    "src/monitor/",
+    "src/temporal/",
+    "src/runtime/",
+    "src/baseline/",
+)
+
+# Content heuristic that pulls a file outside those directories into the
+# DL003 scope: a `+=` accumulation on a line that mentions a floating
+# type or a sum/latency accumulator name (e.g. the workload endpoints'
+# reply_latency_sum). Conservative by design — false negatives here are
+# caught the day the file moves into a listed directory.
+FP_ACCUM_CONTENT = re.compile(
+    r"(?:\bfloat\b|\bdouble\b|\w*sum\w*|\w*latency\w*)[^;\n]*\+=|"
+    r"\+=[^;\n]*(?:\bfloat\b|\bdouble\b|static_cast<\s*(?:float|double)\s*>)"
+)
+
+SUPPRESS_RE = re.compile(r"//\s*lint-allow\((DL\d{3})\)\s*:\s*(\S.*)?$")
+
+BANNED_CALLS = [
+    (re.compile(r"\bstd::rand\b|(?<![\w:])s?rand\s*\("),
+     "std::rand/srand: use the seeded dl2f Rng so runs replay bit-identically"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device: nondeterministic entropy source; seed a dl2f Rng instead"),
+    (re.compile(r"::now\s*\("),
+     "Clock::now(): wall-clock time is nondeterministic; use the simulated Cycle clock"),
+    (re.compile(r"\b(?:secure_)?getenv\b|\b(?:un)?setenv\b|\bputenv\b"),
+     "environment access: behavior must not depend on ambient environment variables"),
+]
+
+PTR_KEYED_RE = re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s+(\w+)\s*[;{=,)]"
+)
+PARALLEL_REDUCE_RE = re.compile(
+    r"\bstd::(?:transform_)?reduce\b|\bstd::execution::|\bexecution::(?:par\b|par_unseq\b|unseq\b|seq\b)"
+)
+FLOAT_ATOMIC_RE = re.compile(
+    r"\batomic(?:_ref)?\s*<\s*(?:float|double|long\s+double)\b"
+)
+GEMM_TOKEN_RE = re.compile(r"\b(?:gemm\w*|im2col\w*|im2row\w*)\s*\(")
+ACCUM_ORDER_RE = re.compile(r"//\s*ACCUM-ORDER:")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def strip_code(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure, so rule regexes only ever see code. Handles //, /* */,
+    "..."/'...' with escapes, and raw strings R"delim(...)delim"."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j  # keep the newline
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.extend("\n" if ch == "\n" else " " for ch in text[i:j])
+            i = j
+        elif c == "R" and nxt == '"' and (not out or not (out[-1].isalnum() or out[-1] == "_")):
+            m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i + m.end())
+            j = n if j < 0 else j + len(close)
+            out.extend("\n" if ch == "\n" else " " for ch in text[i:j])
+            i = j
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote)
+            out.extend("\n" if ch == "\n" else " " for ch in text[i + 1:j - 1])
+            if j - 1 < n:
+                out.append(quote)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_suppressions(raw_lines: list[str]) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Map 0-based line index -> rule ids allowed on that line. An
+    allow-comment also covers the NEXT line so it can sit above long
+    statements. A lint-allow with no reason is itself reported."""
+    allowed: dict[int, set[str]] = {}
+    bad: list[Finding] = []
+    for idx, line in enumerate(raw_lines):
+        m = SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        rule, reason = m.group(1), m.group(2)
+        if not reason:
+            bad.append(Finding("", idx + 1, "DL000",
+                               f"lint-allow({rule}) without a reason — justify the suppression"))
+            continue
+        allowed.setdefault(idx, set()).add(rule)
+        allowed.setdefault(idx + 1, set()).add(rule)
+    return allowed, bad
+
+
+def in_fp_scope(relpath: str, code: str) -> bool:
+    rel = relpath.replace(os.sep, "/")
+    if any(p in rel for p in FP_ACCUM_PATHS):
+        return True
+    return FP_ACCUM_CONTENT.search(code) is not None
+
+
+def sibling_header_text(path: str) -> str:
+    base, ext = os.path.splitext(path)
+    if ext != ".cpp":
+        return ""
+    for hext in (".hpp", ".h"):
+        try:
+            with open(base + hext, encoding="utf-8") as f:
+                return f.read()
+        except OSError:
+            continue
+    return ""
+
+
+def lint_text(relpath: str, text: str, header_text: str = "") -> list[Finding]:
+    raw_lines = text.splitlines()
+    code = strip_code(text)
+    code_lines = code.splitlines()
+    allowed, findings = collect_suppressions(raw_lines)
+    for f in findings:
+        f.path = relpath
+
+    def emit(idx: int, rule: str, message: str) -> None:
+        if rule not in allowed.get(idx, set()):
+            findings.append(Finding(relpath, idx + 1, rule, message))
+
+    for idx, line in enumerate(code_lines):
+        for pattern, why in BANNED_CALLS:
+            if pattern.search(line):
+                emit(idx, "DL001", f"banned nondeterminism source — {why}")
+        if PTR_KEYED_RE.search(line):
+            emit(idx, "DL002",
+                 "pointer-keyed ordered container: iteration order is address order, "
+                 "nondeterministic under ASLR — key on a stable id instead")
+        if PARALLEL_REDUCE_RE.search(line):
+            emit(idx, "DL004",
+                 "std::reduce / execution policy: licensed to reassociate the FP "
+                 "reduction — use a strictly-ascending sequential loop")
+        if FLOAT_ATOMIC_RE.search(line):
+            emit(idx, "DL005",
+                 "atomic on a floating type: racing FP updates have scheduler-dependent "
+                 "order — accumulate per-thread and reduce in fixed order")
+
+    # DL003: iteration over unordered containers declared in this TU (or
+    # its same-named header) when the file is in the FP/campaign scope.
+    if in_fp_scope(relpath, code):
+        unordered_names = set(UNORDERED_DECL_RE.findall(code))
+        unordered_names |= set(UNORDERED_DECL_RE.findall(strip_code(header_text)))
+        if unordered_names:
+            names = "|".join(re.escape(n) for n in sorted(unordered_names))
+            iter_re = re.compile(
+                rf"for\s*\([^;)]*:\s*(?:\w+[.->]*)*({names})\s*\)|"
+                rf"\b({names})\s*\.\s*c?r?begin\s*\(")
+            for idx, line in enumerate(code_lines):
+                m = iter_re.search(line)
+                if m:
+                    name = m.group(1) or m.group(2)
+                    emit(idx, "DL003",
+                         f"iteration over unordered container '{name}' in an "
+                         "FP-accumulation/campaign-aggregation file: bucket order is "
+                         "unspecified — iterate a sorted view or an ordered container")
+
+    # DL006: GEMM-path TUs must carry the ACCUM-ORDER contract block.
+    if GEMM_TOKEN_RE.search(code) and not ACCUM_ORDER_RE.search(text):
+        emit(0, "DL006",
+             "GEMM-path TU without an `// ACCUM-ORDER:` contract block — document "
+             "this file's accumulation-order obligations (see src/nn/gemm.hpp)")
+
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def lint_file(path: str, root: str) -> list[Finding]:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    relpath = os.path.relpath(path, root)
+    return lint_text(relpath, text, sibling_header_text(path))
+
+
+def default_targets(root: str) -> list[str]:
+    targets = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
+        for name in sorted(filenames):
+            if name.endswith((".cpp", ".hpp", ".h")):
+                targets.append(os.path.join(dirpath, name))
+    return sorted(targets)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels above this script)")
+    parser.add_argument("files", nargs="*", help="files to lint (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    targets = args.files or default_targets(root)
+    if not targets:
+        print(f"determinism_lint: no lintable files under {root}/src", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in targets:
+        try:
+            findings.extend(lint_file(path, root))
+        except OSError as err:
+            print(f"determinism_lint: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"\ndeterminism_lint: {len(findings)} finding(s) across "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    print(f"determinism_lint: {len(targets)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+// Fixture: every banned nondeterminism source DL001 must catch.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int bad_entropy() {
+  std::random_device rd;                       // finding: random_device
+  return static_cast<int>(rd()) + std::rand();  // finding: std::rand
+}
+
+long bad_clock() {
+  const auto t = std::chrono::steady_clock::now();  // finding: ::now(
+  return t.time_since_epoch().count();
+}
+
+const char* bad_env() {
+  return std::getenv("DL2F_SECRET_KNOB");  // finding: getenv
+}

@@ -1,0 +1,10 @@
+// Fixture: pointer-keyed ordered containers iterate in address order.
+#include <map>
+#include <set>
+
+struct Router {
+  int id;
+};
+
+std::map<const Router*, int> credit_by_router;  // finding: pointer key
+std::set<Router*> active;                       // finding: pointer key

@@ -1,0 +1,8 @@
+// Fixture: value-keyed ordered containers are deterministic.
+#include <cstdint>
+#include <map>
+#include <set>
+
+std::map<std::int32_t, int> credit_by_router_id;
+std::set<std::int32_t> active_ids;
+std::map<int, const char*> names;  // pointer VALUES are fine; only keys order iteration

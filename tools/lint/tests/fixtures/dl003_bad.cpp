@@ -1,0 +1,21 @@
+// Fixture: unordered iteration feeding an FP accumulation. The `+=` on a
+// double puts this file in the DL003 scope via the content heuristic.
+#include <unordered_map>
+
+std::unordered_map<int, double> latency_by_source;
+
+double aggregate_latency() {
+  double sum = 0.0;
+  for (const auto& [src, latency] : latency_by_source) {  // finding: bucket order
+    sum += latency;
+  }
+  return sum;
+}
+
+double aggregate_iterators() {
+  double sum = 0.0;
+  for (auto it = latency_by_source.begin(); it != latency_by_source.end(); ++it) {
+    sum += it->second;  // finding: bucket order via .begin()
+  }
+  return sum;
+}

@@ -1,0 +1,14 @@
+// Fixture: keyed lookups into unordered containers are fine even in an
+// FP-accumulation file — only iteration depends on bucket order.
+#include <unordered_map>
+
+std::unordered_map<int, double> latency_by_source;
+
+double record(int src, double latency) {
+  double sum = 0.0;
+  if (const auto it = latency_by_source.find(src); it != latency_by_source.end()) {
+    sum += it->second;  // FP accumulation, but reached by key, not by iteration
+  }
+  latency_by_source.erase(src);
+  return sum;
+}

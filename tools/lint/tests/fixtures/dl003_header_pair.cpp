@@ -1,0 +1,11 @@
+// Fixture TU: iterates an unordered member declared in the sibling
+// header while accumulating doubles — DL003 must fire here.
+#include "dl003_header_pair.hpp"
+
+double EndpointStats::total() const {
+  double sum = 0.0;
+  for (const auto& [client, latency] : latency_by_client_) {  // finding
+    sum += latency;
+  }
+  return sum;
+}

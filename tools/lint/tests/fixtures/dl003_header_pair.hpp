@@ -1,0 +1,10 @@
+// Fixture header: the unordered member is declared here; the paired
+// .cpp iterates it. The linter must pick the declaration up from the
+// same-named sibling header.
+#pragma once
+#include <unordered_map>
+
+struct EndpointStats {
+  std::unordered_map<int, double> latency_by_client_;
+  double total() const;
+};

@@ -1,0 +1,12 @@
+// Fixture: unordered iteration in a file with NO floating-point
+// accumulation and outside the FP-scope directories — DL003 stays quiet
+// (e.g. a debug dump or an integer-only index rebuild).
+#include <unordered_set>
+
+std::unordered_set<int> seen;
+
+int count_seen() {
+  int n = 0;
+  for (const int id : seen) n += (id >= 0) ? 1 : 0;  // integer count: order-free
+  return n;
+}

@@ -1,0 +1,12 @@
+// Fixture: parallel/unsequenced reductions are licensed to reassociate.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+double bad_reduce(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);  // finding: std::reduce
+}
+
+double bad_policy(const std::vector<double>& xs) {
+  return std::reduce(std::execution::par_unseq, xs.begin(), xs.end());  // finding: policy
+}

@@ -1,0 +1,11 @@
+// Fixture: the sanctioned reduction shape — one scalar accumulator,
+// reduction index strictly ascending. std::accumulate is sequential and
+// left-fold by specification, so it is allowed too.
+#include <numeric>
+#include <vector>
+
+double good_sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) sum += xs[i];
+  return sum + std::accumulate(xs.begin(), xs.end(), 0.0);
+}

@@ -1,0 +1,9 @@
+// Fixture: atomics on floating types race in scheduler order.
+#include <atomic>
+
+std::atomic<float> shared_loss{0.0F};   // finding: atomic float
+std::atomic<double> shared_sum{0.0};    // finding: atomic double
+
+void accumulate(float x) {
+  shared_loss.store(shared_loss.load() + x);
+}

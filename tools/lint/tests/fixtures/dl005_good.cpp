@@ -1,0 +1,8 @@
+// Fixture: integer atomics (cursors, counters, flags) are the sanctioned
+// coordination primitives; FP values reduce per-slice in fixed order.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::int32_t> cursor{0};
+std::atomic<bool> failed{false};
+std::atomic<std::uint64_t> allocations{0};

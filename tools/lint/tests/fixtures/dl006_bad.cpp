@@ -1,0 +1,7 @@
+// Fixture: a TU defining a GEMM-path kernel without the ACCUM ORDER
+// contract block (the hyphenated token is deliberately absent here).
+void gemm_bias_like(int m, int n, const float* a, float* c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) c[i * n + j] += a[i];
+  }
+}

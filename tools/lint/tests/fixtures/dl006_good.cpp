@@ -1,0 +1,7 @@
+// ACCUM-ORDER: one scalar accumulator per output element; the reduction
+// index walks strictly ascending; no partial sums are split or combined.
+void gemm_bias_like(int m, int n, const float* a, float* c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) c[i * n + j] += a[i];
+  }
+}

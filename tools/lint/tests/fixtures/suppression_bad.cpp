@@ -1,0 +1,10 @@
+// Fixture: a bare lint-allow without a reason is itself a finding, and
+// suppressing one rule must not silence a different rule on the line.
+#include <chrono>
+#include <cstdlib>
+
+long still_caught() {
+  // lint-allow(DL001):
+  const auto t = std::chrono::system_clock::now();  // DL000 above; DL001 still fires
+  return t.time_since_epoch().count() + std::rand();
+}

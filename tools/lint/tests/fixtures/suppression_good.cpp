@@ -1,0 +1,9 @@
+// Fixture: a justified lint-allow silences exactly its rule on its line
+// (or the line immediately below).
+#include <chrono>
+
+long wall_clock_for_logging() {
+  // lint-allow(DL001): operator-visible log timestamp, never feeds simulation state
+  const auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}

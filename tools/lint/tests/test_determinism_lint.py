@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint/determinism_lint.py.
+
+One good + one bad fixture per rule, so the linter is
+failing-by-construction demonstrated: if a rule regex rots, the bad
+fixture stops producing its finding and this suite fails ctest/CI.
+
+Run directly (python3 tools/lint/tests/test_determinism_lint.py) or via
+the `lint_selftest` ctest entry.
+"""
+
+import os
+import sys
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(TESTS_DIR))
+
+import determinism_lint as lint  # noqa: E402
+
+FIXTURES = os.path.join(TESTS_DIR, "fixtures")
+
+
+def run_fixture(name):
+    path = os.path.join(FIXTURES, name)
+    return lint.lint_file(path, FIXTURES)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class FixtureTests(unittest.TestCase):
+    def assert_clean(self, name):
+        findings = run_fixture(name)
+        self.assertEqual(findings, [],
+                         f"{name} should be clean, got: "
+                         f"{[f.render() for f in findings]}")
+
+    def test_dl001_bad_catches_every_banned_source(self):
+        findings = run_fixture("dl001_bad.cpp")
+        self.assertEqual(rules_of(findings), ["DL001"])
+        # random_device, std::rand, ::now(, getenv — four distinct lines.
+        self.assertEqual(len({f.line for f in findings}), 4)
+
+    def test_dl001_good_ignores_comments_and_strings(self):
+        self.assert_clean("dl001_good.cpp")
+
+    def test_dl002_pointer_keyed_containers(self):
+        findings = run_fixture("dl002_bad.cpp")
+        self.assertEqual(rules_of(findings), ["DL002"])
+        self.assertEqual(len(findings), 2)
+        self.assert_clean("dl002_good.cpp")
+
+    def test_dl003_unordered_iteration_in_fp_scope(self):
+        findings = run_fixture("dl003_bad.cpp")
+        self.assertEqual(rules_of(findings), ["DL003"])
+        self.assertEqual(len(findings), 2)  # range-for and .begin() forms
+
+    def test_dl003_keyed_lookup_is_fine(self):
+        self.assert_clean("dl003_good.cpp")
+
+    def test_dl003_out_of_scope_is_fine(self):
+        self.assert_clean("dl003_out_of_scope.cpp")
+
+    def test_dl003_declaration_found_in_sibling_header(self):
+        findings = run_fixture("dl003_header_pair.cpp")
+        self.assertEqual(rules_of(findings), ["DL003"])
+        self.assert_clean("dl003_header_pair.hpp")  # declaration alone is fine
+
+    def test_dl004_parallel_reductions(self):
+        findings = run_fixture("dl004_bad.cpp")
+        self.assertEqual(rules_of(findings), ["DL004"])
+        self.assert_clean("dl004_good.cpp")
+
+    def test_dl005_float_atomics(self):
+        findings = run_fixture("dl005_bad.cpp")
+        self.assertEqual(rules_of(findings), ["DL005"])
+        self.assertEqual(len(findings), 2)
+        self.assert_clean("dl005_good.cpp")
+
+    def test_dl006_gemm_tu_needs_accum_order_block(self):
+        findings = run_fixture("dl006_bad.cpp")
+        self.assertEqual(rules_of(findings), ["DL006"])
+        self.assert_clean("dl006_good.cpp")
+
+    def test_suppression_with_reason_silences_next_line(self):
+        self.assert_clean("suppression_good.cpp")
+
+    def test_bare_suppression_is_a_finding_and_does_not_silence(self):
+        findings = run_fixture("suppression_bad.cpp")
+        self.assertIn("DL000", rules_of(findings))  # reasonless lint-allow
+        self.assertIn("DL001", rules_of(findings))  # ::now( still caught
+
+
+class ScannerTests(unittest.TestCase):
+    def test_strip_blanks_comments_and_strings(self):
+        text = ('int x; // std::rand()\n'
+                '/* random_device */ const char* s = "getenv";\n'
+                "char c = 'r';\n")
+        code = lint.strip_code(text)
+        for banned in ("rand", "random_device", "getenv"):
+            self.assertNotIn(banned, code)
+        self.assertIn("int x;", code)
+        self.assertEqual(code.count("\n"), text.count("\n"))
+
+    def test_strip_handles_raw_strings_and_escapes(self):
+        text = 'auto r = R"(std::rand())"; auto e = "esc\\"getenv";\nint keep;\n'
+        code = lint.strip_code(text)
+        self.assertNotIn("rand", code)
+        self.assertNotIn("getenv", code)
+        self.assertIn("int keep;", code)
+
+    def test_block_comment_spanning_lines_keeps_line_numbers(self):
+        text = "/* a\nb\nc */ random_device d;\n"
+        findings = lint.lint_text("x.cpp", text)
+        self.assertEqual([(f.rule, f.line) for f in findings], [("DL001", 3)])
+
+
+class CliTests(unittest.TestCase):
+    def test_exit_codes(self):
+        bad = os.path.join(FIXTURES, "dl001_bad.cpp")
+        good = os.path.join(FIXTURES, "dl001_good.cpp")
+        self.assertEqual(lint.main(["--root", FIXTURES, good]), 0)
+        self.assertEqual(lint.main(["--root", FIXTURES, bad]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
