@@ -12,9 +12,19 @@
 // baked in below so the emitted speedup tracks the same machine class as
 // CI. Absolute cycles/sec are machine-dependent; the ratio is the contract.
 //
+// The shard sweep (ISSUE 9) re-runs the 32x32 attack scenario at each
+// row-band shard count (default 1,2,4,8; override with --shards=a,b,c) and
+// verifies that every aggregate the golden tests pin — ejection counts,
+// bit-for-bit floating-point latency sums, histogram and telemetry hashes —
+// is identical across shard counts. Any divergence exits non-zero: this is
+// the same byte-identity gate style bench_campaign applies to worker
+// widths, here guarding the sharded stepping engine.
+//
 // Output: human-readable table on stdout plus machine-readable
 // BENCH_sim.json in the working directory. Pass --quick for the CI preset.
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -51,10 +61,11 @@ struct Result {
   double ns_per_flit_cycle = 0.0;     ///< wall time per (live flit x cycle)
 };
 
-traffic::Simulation make_sim(std::int32_t side, bool attack) {
+traffic::Simulation make_sim(std::int32_t side, bool attack, std::int32_t shards = 0) {
   noc::MeshConfig cfg;
   cfg.shape = MeshShape::square(side);
   cfg.packet_length_flits = 5;
+  cfg.shards = shards;
   traffic::Simulation sim(cfg);
   // Moderate benign load: 0.02 packets/node/cycle of 5-flit packets keeps
   // every mesh size below saturation so the bench measures stepping cost,
@@ -86,12 +97,90 @@ double measure(traffic::Simulation& sim, std::int64_t cycles, std::int32_t repea
   return static_cast<double>(cycles) / best_seconds;
 }
 
+// --- Shard-identity sweep -------------------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Every externally observable aggregate of a finished run, with the
+/// order-sensitive floating-point sums captured as raw bit patterns —
+/// equality means the sharded sweep reproduced the exact per-cycle event
+/// order of the reference, not merely the same totals.
+struct ShardDigest {
+  std::int64_t flits_ejected = 0;
+  std::int64_t packets_ejected = 0;
+  std::int64_t benign_flits = 0;
+  std::int64_t benign_packets = 0;
+  std::int64_t flits_in_network = 0;
+  std::int64_t max_queue_len = 0;
+  std::uint64_t avg_packet_bits = 0;
+  std::uint64_t packet_latency_sum_bits = 0;
+  std::uint64_t benign_packet_latency_sum_bits = 0;
+  std::uint64_t hist_hash = 0;
+  std::uint64_t telem_hash = 0;
+
+  bool operator==(const ShardDigest&) const = default;
+};
+
+ShardDigest digest_of(const noc::Mesh& mesh) {
+  ShardDigest d;
+  const noc::LatencyStats& s = mesh.stats();
+  d.flits_ejected = s.flits_ejected();
+  d.packets_ejected = s.packets_ejected();
+  d.benign_flits = mesh.benign_stats().flits_ejected();
+  d.benign_packets = mesh.benign_stats().packets_ejected();
+  d.flits_in_network = mesh.flits_in_network();
+  d.max_queue_len = static_cast<std::int64_t>(mesh.max_source_queue_length());
+  d.avg_packet_bits = std::bit_cast<std::uint64_t>(s.avg_packet_latency());
+  d.packet_latency_sum_bits = std::bit_cast<std::uint64_t>(s.packet_latency_sum());
+  d.benign_packet_latency_sum_bits =
+      std::bit_cast<std::uint64_t>(mesh.benign_stats().packet_latency_sum());
+  const auto& hist = s.packet_latency_histogram();
+  d.hist_hash = fnv1a(1469598103934665603ULL, hist.data(), hist.size() * sizeof(hist[0]));
+  std::uint64_t th = 1469598103934665603ULL;
+  for (NodeId id = 0; id < mesh.shape().node_count(); ++id) {
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+      const auto& t = mesh.router(id).input(static_cast<Direction>(p)).telemetry;
+      th = fnv1a(th, &t.buffer_writes, sizeof(t.buffer_writes));
+      th = fnv1a(th, &t.buffer_reads, sizeof(t.buffer_reads));
+    }
+  }
+  d.telem_hash = th;
+  return d;
+}
+
+/// Parse "--shards=1,2,4,8" into a shard-count list.
+std::vector<std::int32_t> parse_shard_list(std::string_view arg) {
+  std::vector<std::int32_t> out;
+  std::string token;
+  std::istringstream in{std::string(arg)};
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) out.push_back(std::stoi(token));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::vector<std::int32_t> shard_list{1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--quick") quick = true;
+    const std::string_view arg(argv[i]);
+    if (arg == "--quick") quick = true;
+    if (arg.rfind("--shards=", 0) == 0) shard_list = parse_shard_list(arg.substr(9));
+  }
+  // The sweep's reference is its first entry; when the caller asks for a
+  // single sharded count (e.g. the TSan job's --shards=4), compare it
+  // against the serial engine rather than against itself.
+  if (shard_list.size() == 1 && shard_list[0] != 1) {
+    shard_list.insert(shard_list.begin(), 1);
   }
 
   const std::vector<std::int32_t> sizes{4, 8, 16, 32};
@@ -147,6 +236,42 @@ int main(int argc, char** argv) {
               << kPreRefactorBenign8x8Cps << " -> " << speedup << "x\n";
   }
 
+  // Shard sweep: fresh 32x32 attack simulations, identical total cycles at
+  // every shard count, digests compared against the list's first entry.
+  std::cout << "\nshard sweep (32x32 attack, row-band shards):\n";
+  TextTable shard_table({"Shards", "Threads", "Cycles/s", "us/cycle", "Identical"});
+  std::vector<std::pair<std::int32_t, double>> shard_cps;
+  ShardDigest reference;
+  bool identical = true;
+  for (std::size_t i = 0; i < shard_list.size(); ++i) {
+    const std::int32_t k = shard_list[i];
+    traffic::Simulation sim = make_sim(32, /*attack=*/true, k);
+    sim.run(warmup);
+    const double cps = measure(sim, cycles, repeats);
+    const ShardDigest d = digest_of(sim.mesh());
+    if (i == 0) reference = d;
+    const bool match = d == reference;
+    identical = identical && match;
+    shard_cps.emplace_back(k, cps);
+    shard_table.add_row({std::to_string(sim.mesh().shard_count()),
+                         std::to_string(sim.mesh().step_thread_count()), TextTable::cell(cps, 0),
+                         TextTable::cell(1e6 / cps, 3), match ? "yes" : "NO"});
+  }
+  std::cout << shard_table;
+  double cps_1shard = 0.0;
+  double cps_sharded_best = 0.0;
+  for (const auto& [k, cps] : shard_cps) {
+    if (k == 1) cps_1shard = cps;
+    if (k != 1) cps_sharded_best = std::max(cps_sharded_best, cps);
+  }
+  const double shard_speedup =
+      (cps_1shard > 0.0 && cps_sharded_best > 0.0) ? cps_sharded_best / cps_1shard : 1.0;
+  std::cout << "sharded-vs-1shard speedup (32x32 attack): " << shard_speedup << "x\n";
+  if (!identical) {
+    std::cout << "FAIL: sharded stepping diverged from the " << shard_list.front()
+              << "-shard reference (see Identical column)\n";
+  }
+
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"sim\",\n"
@@ -169,7 +294,13 @@ int main(int argc, char** argv) {
     json << (i == 0 ? "" : ", ") << "\"" << results[i].mesh << "_" << results[i].load
          << "\": " << results[i].ns_per_flit_cycle;
   }
+  json << "},\n  \"cycles_per_sec_shards\": {";
+  for (std::size_t i = 0; i < shard_cps.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << shard_cps[i].first << "\": " << shard_cps[i].second;
+  }
   json << "},\n"
+       << "  \"shards_bitwise_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"speedup_32_sharded_vs_1shard\": " << shard_speedup << ",\n"
        << "  \"pre_refactor_benign_8x8_cps\": " << kPreRefactorBenign8x8Cps << ",\n"
        << "  \"speedup_benign_8x8_vs_pre_refactor\": " << speedup << "\n"
        << "}\n";
@@ -177,5 +308,7 @@ int main(int argc, char** argv) {
   std::ofstream out("BENCH_sim.json");
   out << json.str();
   std::cout << "wrote BENCH_sim.json (8x8 benign " << benign_8x8 << " cycles/s)\n";
-  return 0;
+  // The shard sweep is a hard determinism gate: any divergence from the
+  // reference shard count fails the bench (and with it the CI job).
+  return identical ? 0 : 1;
 }

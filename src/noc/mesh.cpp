@@ -1,14 +1,141 @@
 #include "noc/mesh.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 
 #include "common/debug_hooks.hpp"
 
 namespace dl2f::noc {
 
+namespace {
+
+std::int32_t resolve_shards(const MeshConfig& cfg) {
+  const std::int32_t rows = cfg.shape.rows();
+  std::int32_t k = cfg.shards;
+  if (k <= 0) k = std::clamp(rows / 8, 1, 8);  // auto: ~8 rows per shard
+  return std::clamp(k, 1, rows);
+}
+
+std::int32_t resolve_step_threads(const MeshConfig& cfg, std::int32_t shard_count) {
+  std::int32_t t = cfg.step_threads;
+  if (t <= 0) {
+    t = std::max(1, static_cast<std::int32_t>(std::thread::hardware_concurrency()));
+  }
+  return std::clamp(t, 1, shard_count);
+}
+
+}  // namespace
+
+/// Persistent worker pool for sharded stepping — the nn/train.cpp
+/// WorkerPool idiom (generation-counter start latch, caller participates)
+/// plus an in-phase barrier. One dispatch per Mesh::step: each participant
+/// runs NI+route for its shards, meets the barrier, then applies. The
+/// task is a plain function pointer + context so dispatching allocates
+/// nothing (Mesh::step runs under a NoAllocScope).
+class Mesh::StepPool {
+ public:
+  using TaskFn = void (*)(Mesh*, std::int32_t);
+
+  explicit StepPool(std::int32_t workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (std::int32_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w + 1); });  // participant 0 = caller
+    }
+  }
+
+  ~StepPool() {
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  StepPool(const StepPool&) = delete;
+  StepPool& operator=(const StepPool&) = delete;
+
+  /// Run fn(mesh, p) on every participant p in [0, workers]; p == 0 is the
+  /// calling thread. Returns after all participants finish.
+  void run(Mesh* mesh, TaskFn fn) {
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      mesh_ = mesh;
+      fn_ = fn;
+      done_ = 0;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    fn(mesh, 0);
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [&] { return done_ == static_cast<std::int32_t>(threads_.size()); });
+  }
+
+  /// In-phase barrier for `participants` = workers + 1 threads. Last
+  /// arriver resets the count and releases the generation; the release/
+  /// acquire pair publishes every pre-barrier write (the staging arenas)
+  /// to every post-barrier reader.
+  void barrier(std::int32_t participants) noexcept {
+    const std::uint64_t gen = barrier_gen_.load(std::memory_order_acquire);
+    if (barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants) {
+      barrier_arrived_.store(0, std::memory_order_relaxed);
+      barrier_gen_.store(gen + 1, std::memory_order_release);
+    } else {
+      while (barrier_gen_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  void worker_loop(std::int32_t participant) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Mesh* mesh = nullptr;
+      TaskFn fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        mesh = mesh_;
+        fn = fn_;
+      }
+      fn(mesh, participant);
+      {
+        const std::lock_guard<std::mutex> lock(m_);
+        ++done_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Mesh* mesh_ = nullptr;
+  TaskFn fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::int32_t done_ = 0;
+  bool stop_ = false;
+  std::atomic<std::int32_t> barrier_arrived_{0};
+  std::atomic<std::uint64_t> barrier_gen_{0};
+  std::vector<std::thread> threads_;
+};
+
 Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
+  if (cfg.shape.node_count() > 32767) {
+    // Flit::src/dst are int16 (see flit.hpp); 181x181 is far beyond the
+    // roadmap's 64x64 target, so the narrow ids are a non-constraint.
+    throw std::invalid_argument("MeshConfig::shape node_count must be <= 32767");
+  }
   const auto n = static_cast<std::size_t>(cfg.shape.node_count());
+  const std::int32_t cols = cfg.shape.cols();
   routers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     routers_.emplace_back(static_cast<NodeId>(i), cfg.shape, cfg.router);
@@ -19,18 +146,67 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   ni_injected_flits_.assign(n, 0);
   router_active_.assign(n, 0);
   source_active_.assign(n, 0);
-  active_routers_.reserve(n);
-  active_sources_.reserve(n);
-  // Reserve every arena at its physical per-cycle maximum so Mesh::step
-  // can never allocate, not even transiently: a router latches at most one
-  // flit per output port per cycle (4 link transfers + 1 ejection) and
-  // returns at most one credit per SA winner (<= kNumPorts).
-  arrivals_.reserve(n * (kNumPorts - 1));
-  credit_updates_.reserve(n * kNumPorts);
-  transfers_.reserve(kNumPorts - 1);
-  credits_.reserve(kNumPorts);
-  ejected_.reserve(kNumPorts);
+
+  neighbors_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < kNumMeshDirections; ++d) {
+      const auto nb = cfg.shape.neighbor(static_cast<NodeId>(i), static_cast<Direction>(d));
+      neighbors_[i][d] = nb.value_or(-1);
+    }
+  }
+
+  // Row-band partition: contiguous bands of rows/k rows, the first rows%k
+  // bands one row taller, so ids [first, end) are contiguous per shard.
+  const std::int32_t k = resolve_shards(cfg);
+  const std::int32_t rows = cfg.shape.rows();
+  const std::int32_t base_rows = rows / k;
+  const std::int32_t extra = rows % k;
+  shards_.resize(static_cast<std::size_t>(k));
+  shard_of_.resize(n);
+  std::int32_t row0 = 0;
+  for (std::int32_t s = 0; s < k; ++s) {
+    auto& sh = shards_[static_cast<std::size_t>(s)];
+    const std::int32_t band = base_rows + (s < extra ? 1 : 0);
+    sh.first = row0 * cols;
+    sh.end = (row0 + band) * cols;
+    row0 += band;
+    for (NodeId id = sh.first; id < sh.end; ++id) {
+      shard_of_[static_cast<std::size_t>(id)] = s;
+    }
+    // Reserve every arena at its physical per-cycle maximum so Mesh::step
+    // can never allocate, not even transiently. A router latches at most
+    // one flit per output port per cycle (4 link transfers + 1 ejection);
+    // only ONE output port of a boundary-row router faces the adjacent
+    // band, so at most `cols` flits cross a shard edge per cycle. Credits
+    // are looser: up to kNumPorts output ports can each read a (distinct)
+    // VC of the SAME boundary-facing input port in one cycle, so a
+    // boundary router may owe up to kNumPorts cross-edge credits.
+    const auto shard_n = static_cast<std::size_t>(sh.end - sh.first);
+    const auto cross = static_cast<std::size_t>(cols);
+    sh.active_routers.reserve(shard_n);
+    sh.active_sources.reserve(shard_n);
+    sh.order_scratch.reserve(shard_n);
+    sh.transfers.reserve(kNumPorts - 1);
+    sh.credit_scratch.reserve(kNumPorts);
+    sh.arrivals_local.reserve(shard_n * (kNumPorts - 1));
+    sh.arrivals_prev.reserve(cross);
+    sh.arrivals_next.reserve(cross);
+    sh.credits_local.reserve(shard_n * kNumPorts);
+    sh.credits_prev.reserve(cross * kNumPorts);
+    sh.credits_next.reserve(cross * kNumPorts);
+    sh.ejected.reserve(shard_n);
+  }
+  assert(row0 == rows);
+
+  step_threads_ = resolve_step_threads(cfg, k);
+  if (step_threads_ > 1) {
+    pool_ = std::make_unique<StepPool>(step_threads_ - 1);
+  }
 }
+
+Mesh::~Mesh() = default;
+Mesh::Mesh(Mesh&&) noexcept = default;
+Mesh& Mesh::operator=(Mesh&&) noexcept = default;
 
 PacketId Mesh::inject(NodeId src, NodeId dst, std::int32_t length_flits, bool malicious) {
   assert(cfg_.shape.valid(src) && cfg_.shape.valid(dst));
@@ -53,15 +229,35 @@ PacketId Mesh::inject(NodeId src, NodeId dst, std::int32_t length_flits, bool ma
   return p.id;
 }
 
-void Mesh::run_network_interfaces() {
+void Mesh::order_worklist(std::vector<NodeId>& list, std::vector<NodeId>& scratch,
+                          const std::vector<char>& flags, NodeId first, NodeId end) {
+  // The flags mirror list membership exactly, so an ascending scan of the
+  // flag range reproduces the sorted list; at high occupancy (saturated
+  // attack meshes) that linear rebuild is far cheaper than re-sorting the
+  // list every cycle. Sparse lists keep the O(m log m) sort.
+  const auto span = static_cast<std::size_t>(end - first);
+  if (list.size() * 8 >= span) {
+    scratch.clear();
+    for (NodeId id = first; id < end; ++id) {
+      if (flags[static_cast<std::size_t>(id)] != 0) scratch.push_back(id);
+    }
+    assert(scratch.size() == list.size());
+    list.swap(scratch);
+  } else {
+    std::sort(list.begin(), list.end());
+  }
+}
+
+void Mesh::ni_phase(Shard& sh) {
   // Each NI serializes the packet at the head of its source queue into a
   // local-input virtual channel, one flit per cycle (injection bandwidth of
   // one flit/cycle, as in Garnet's NetworkInterface). Only nodes with a
   // non-empty source queue are on the worklist; visiting in ascending node
-  // order keeps the sweep deterministic.
-  if (active_sources_.empty()) return;
-  std::sort(active_sources_.begin(), active_sources_.end());
-  for (const NodeId node_id : active_sources_) {
+  // order keeps the sweep deterministic. NIs touch only their own node's
+  // queue and router, so shards never interact here.
+  if (sh.active_sources.empty()) return;
+  order_worklist(sh.active_sources, sh.order_scratch, source_active_, sh.first, sh.end);
+  for (const NodeId node_id : sh.active_sources) {
     const auto node = static_cast<std::size_t>(node_id);
     auto& q = source_queues_[node];
     if (q.empty()) continue;  // drained by a quarantine flush; compacted below
@@ -86,9 +282,9 @@ void Mesh::run_network_interfaces() {
 
     Flit flit;
     flit.packet = pkt.id;
-    flit.src = pkt.src;
-    flit.dst = pkt.dst;
-    flit.seq = pkt.flits_sent;
+    flit.src = static_cast<std::int16_t>(pkt.src);
+    flit.dst = static_cast<std::int16_t>(pkt.dst);
+    flit.seq = static_cast<std::int16_t>(pkt.flits_sent);
     flit.created = pkt.created;
     flit.injected = now_;
     flit.malicious = pkt.malicious;
@@ -111,55 +307,127 @@ void Mesh::run_network_interfaces() {
     }
   }
   // Compact: nodes whose queue emptied leave the worklist.
-  active_sources_.erase(
-      std::remove_if(active_sources_.begin(), active_sources_.end(),
+  sh.active_sources.erase(
+      std::remove_if(sh.active_sources.begin(), sh.active_sources.end(),
                      [&](NodeId id) {
                        if (!source_queues_[static_cast<std::size_t>(id)].empty()) return false;
                        source_active_[static_cast<std::size_t>(id)] = 0;
                        return true;
                      }),
-      active_sources_.end());
+      sh.active_sources.end());
 }
 
-void Mesh::step() {
-  // Checked form of the arena invariant above: stepping never allocates,
-  // not even transiently — every scratch vector was reserved at its
-  // physical per-cycle maximum in the constructor. Debug-only; compiles
-  // away under NDEBUG (see common/debug_hooks.hpp).
-  const dbg::NoAllocScope no_alloc("Mesh::step");
+void Mesh::route_phase(Shard& sh) {
+  // Stage this shard's outgoing traffic. The staging lists are cleared
+  // here (not in the apply phase) so a quiescent shard still presents
+  // empty lists to its neighbors' apply phases.
+  sh.arrivals_local.clear();
+  sh.arrivals_prev.clear();
+  sh.arrivals_next.clear();
+  sh.credits_local.clear();
+  sh.credits_prev.clear();
+  sh.credits_next.clear();
+  sh.ejected.clear();
+  if (sh.active_routers.empty()) return;
 
-  run_network_interfaces();
+  order_worklist(sh.active_routers, sh.order_scratch, router_active_, sh.first, sh.end);
+  const std::int32_t my_shard = shard_of_[static_cast<std::size_t>(sh.first)];
 
-  // Two-phase update: every active router computes its transfers from the
-  // current state; arrivals and credit returns are applied afterwards,
-  // giving a uniform one-cycle link latency with no router-order
-  // artifacts. The worklist is sorted so routers are visited — and their
-  // ejections recorded into the (order-sensitive) latency accumulators —
-  // in ascending id order, exactly like the pre-worklist full sweep.
-  arrivals_.clear();
-  credit_updates_.clear();
-  std::sort(active_routers_.begin(), active_routers_.end());
-
-  for (const NodeId id : active_routers_) {
-    transfers_.clear();
-    credits_.clear();
-    ejected_.clear();
+  for (const NodeId id : sh.active_routers) {
+    sh.transfers.clear();
+    sh.credit_scratch.clear();
     Router& r = routers_[static_cast<std::size_t>(id)];
-    r.step(cfg_.shape, transfers_, credits_, ejected_, now_);
+    r.step(cfg_.shape, sh.transfers, sh.credit_scratch, sh.ejected, now_);
 
-    for (const auto& t : transfers_) {
-      const auto neighbor = cfg_.shape.neighbor(r.id(), t.out_dir);
-      assert(neighbor.has_value());
-      arrivals_.push_back(PendingTransfer{*neighbor, opposite(t.out_dir), t.out_vc, t.flit});
+    for (const auto& t : sh.transfers) {
+      const NodeId to = neighbors_[static_cast<std::size_t>(id)][static_cast<std::size_t>(
+          t.out_dir)];
+      assert(to >= 0);
+      const std::int32_t to_shard = shard_of_[static_cast<std::size_t>(to)];
+      auto& stage = to_shard == my_shard ? sh.arrivals_local
+                    : to_shard < my_shard ? sh.arrivals_prev
+                                          : sh.arrivals_next;
+      assert(to_shard >= my_shard - 1 && to_shard <= my_shard + 1);
+      stage.push_back(PendingTransfer{to, opposite(t.out_dir), t.out_vc, t.flit});
     }
-    for (const auto& c : credits_) {
+    for (const auto& c : sh.credit_scratch) {
       // The flit was read from input port `c.in_dir`; the upstream router
       // lies in that direction and regains a credit on its facing output.
-      const auto upstream = cfg_.shape.neighbor(r.id(), c.in_dir);
-      assert(upstream.has_value());
-      credit_updates_.push_back(PendingCredit{*upstream, opposite(c.in_dir), c.vc});
+      const NodeId to = neighbors_[static_cast<std::size_t>(id)][static_cast<std::size_t>(
+          c.in_dir)];
+      assert(to >= 0);
+      const std::int32_t to_shard = shard_of_[static_cast<std::size_t>(to)];
+      auto& stage = to_shard == my_shard ? sh.credits_local
+                    : to_shard < my_shard ? sh.credits_prev
+                                          : sh.credits_next;
+      stage.push_back(PendingCredit{to, opposite(c.in_dir), c.vc});
     }
-    for (const auto& f : ejected_) {
+  }
+}
+
+void Mesh::apply_phase(std::size_t s) {
+  // Apply every arrival addressed to shard s: previous shard's next-list,
+  // own local list, next shard's prev-list — ascending source-router
+  // order, and only shard s's routers are written. (The apply order is
+  // also state-equivalent under any interleaving: at most one flit per
+  // (router, in_dir, vc) arrives per cycle, and credits commute.)
+  Shard& sh = shards_[s];
+  const auto apply_arrivals = [&](const std::vector<PendingTransfer>& stage) {
+    for (const auto& a : stage) {
+      // Arrivals land at the end of the cycle; timestamp them at now_ + 1
+      // so the occupancy integral attributes the new flit to the next
+      // cycle.
+      routers_[static_cast<std::size_t>(a.to)].accept_flit(a.in_dir, a.vc, a.flit, now_ + 1);
+      activate_router(a.to);
+    }
+  };
+  const auto apply_credits = [&](const std::vector<PendingCredit>& stage) {
+    for (const auto& c : stage) {
+      routers_[static_cast<std::size_t>(c.to)].accept_credit(c.out_dir, c.vc);
+    }
+  };
+  if (s > 0) apply_arrivals(shards_[s - 1].arrivals_next);
+  apply_arrivals(sh.arrivals_local);
+  if (s + 1 < shards_.size()) apply_arrivals(shards_[s + 1].arrivals_prev);
+  if (s > 0) apply_credits(shards_[s - 1].credits_next);
+  apply_credits(sh.credits_local);
+  if (s + 1 < shards_.size()) apply_credits(shards_[s + 1].credits_prev);
+
+  // Compact: routers that drained completely leave the worklist. A router
+  // with an Active-but-empty VC holds no flits and has nothing to do until
+  // the next arrival re-activates it.
+  sh.active_routers.erase(
+      std::remove_if(sh.active_routers.begin(), sh.active_routers.end(),
+                     [&](NodeId id) {
+                       if (routers_[static_cast<std::size_t>(id)].buffered_flits() > 0) {
+                         return false;
+                       }
+                       router_active_[static_cast<std::size_t>(id)] = 0;
+                       return true;
+                     }),
+      sh.active_routers.end());
+}
+
+void Mesh::step_shards(std::int32_t participant) {
+  const auto k = static_cast<std::int32_t>(shards_.size());
+  for (std::int32_t s = participant; s < k; s += step_threads_) {
+    auto& sh = shards_[static_cast<std::size_t>(s)];
+    ni_phase(sh);
+    route_phase(sh);
+  }
+  if (pool_) pool_->barrier(step_threads_);
+  for (std::int32_t s = participant; s < k; s += step_threads_) {
+    apply_phase(static_cast<std::size_t>(s));
+  }
+}
+
+void Mesh::finish_cycle() {
+  // Serial coordinator phase: the order-sensitive floating-point latency
+  // accumulation and the delivery-listener callbacks run on the calling
+  // thread, shards ascending = router ids ascending — byte-identical to
+  // the single-shard sweep at any shard/thread count.
+  for (const auto& sh : shards_) {
+    for (const auto& f : sh.ejected) {
       stats_.on_flit_ejected(f, now_);
       if (is_tail(f.type)) {
         stats_.on_packet_ejected(f, now_);
@@ -176,32 +444,30 @@ void Mesh::step() {
       }
     }
   }
-
-  for (const auto& a : arrivals_) {
-    // Arrivals land at the end of the cycle; timestamp them at now_ + 1 so
-    // the occupancy integral attributes the new flit to the next cycle.
-    routers_[static_cast<std::size_t>(a.to)].accept_flit(a.in_dir, a.vc, a.flit, now_ + 1);
-    activate_router(a.to);
-  }
-  for (const auto& c : credit_updates_) {
-    routers_[static_cast<std::size_t>(c.to)].accept_credit(c.out_dir, c.vc);
-  }
-
-  // Compact: routers that drained completely leave the worklist. A router
-  // with an Active-but-empty VC holds no flits and has nothing to do until
-  // the next arrival re-activates it.
-  active_routers_.erase(
-      std::remove_if(active_routers_.begin(), active_routers_.end(),
-                     [&](NodeId id) {
-                       if (routers_[static_cast<std::size_t>(id)].buffered_flits() > 0) {
-                         return false;
-                       }
-                       router_active_[static_cast<std::size_t>(id)] = 0;
-                       return true;
-                     }),
-      active_routers_.end());
-
   ++now_;
+}
+
+void Mesh::step() {
+  // Checked form of the arena invariant above: stepping never allocates,
+  // not even transiently — every scratch vector was reserved at its
+  // physical per-cycle maximum in the constructor. Debug-only; compiles
+  // away under NDEBUG (see common/debug_hooks.hpp). Worker threads run
+  // the same reserved-arena code; the scope instruments the coordinator.
+  const dbg::NoAllocScope no_alloc("Mesh::step");
+
+  if (pool_) {
+    pool_->run(this, [](Mesh* m, std::int32_t participant) { m->step_shards(participant); });
+  } else {
+    // Serial path: same phases, no barrier needed — route phases all
+    // complete before the first apply below.
+    for (auto& sh : shards_) {
+      ni_phase(sh);
+      route_phase(sh);
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) apply_phase(s);
+  }
+
+  finish_cycle();
 }
 
 void Mesh::run(std::int64_t n) {
@@ -233,11 +499,13 @@ std::vector<NodeId> Mesh::quarantined_nodes() const {
 }
 
 std::int64_t Mesh::flits_in_network() const {
-  // Between steps every router holding flits is on the worklist, so the
-  // sum over the worklist is the sum over the whole mesh.
+  // Between steps every router holding flits is on its shard's worklist,
+  // so the sum over the worklists is the sum over the whole mesh.
   std::int64_t total = 0;
-  for (const NodeId id : active_routers_) {
-    total += routers_[static_cast<std::size_t>(id)].buffered_flits();
+  for (const auto& sh : shards_) {
+    for (const NodeId id : sh.active_routers) {
+      total += routers_[static_cast<std::size_t>(id)].buffered_flits();
+    }
   }
   return total;
 }

@@ -6,19 +6,45 @@
 // read/write counters, queueing and network latency) is produced by the
 // same mechanisms here, so DL2Fence's feature frames keep their semantics.
 // ---------------------------------------------------------------------------
-// Hot-path storage and scheduling invariants (ISSUE 3 datapath)
+// Hot-path storage and scheduling invariants (ISSUE 3 datapath, ISSUE 9
+// sharded stepping)
 //
 // Routers live by value in one contiguous vector — stepping walks flat
-// memory, never pointer-chases. Each virtual channel's FIFO is an inline
-// FlitRing (see flit.hpp), so buffering a flit never touches the heap.
+// memory, never pointer-chases. Each virtual channel's flit slots live in
+// its router's slot arena (see router.hpp), so buffering a flit never
+// touches the heap.
 //
-// Mesh::step reuses five mesh-owned arenas (arrivals_, credit_updates_,
-// transfers_, credits_, ejected_) that are cleared — capacity retained —
-// every cycle; after the first few warm-up cycles steady-state stepping
-// performs ZERO heap allocations (tests/noc_ring_test.cpp counts them).
+// SHARD PARTITION. The router vector is split into MeshConfig::shards
+// contiguous ROW BANDS (row-major ids make a band one contiguous id
+// range; the first rows%shards bands get one extra row). Under XY
+// routing, East/West hops stay inside a band, so the only cross-shard
+// traffic is the North/South hops at band boundaries — each shard
+// exchanges flits and credits with at most its two neighbors.
 //
-// Two worklists keep idle structure off the per-cycle path:
-//  * active_routers_ — a router ENTERS when a flit is delivered to it
+// STEP PHASES. Every cycle runs:
+//   1. NI + route phase, per shard (parallelizable): each shard serializes
+//      its source queues, steps its active routers in ascending id order,
+//      and stages outgoing link transfers/credits into per-shard arenas —
+//      one list for same-shard targets, one per neighboring shard.
+//      Ejections are staged per shard in ascending router order.
+//   2. BARRIER (when step_threads > 1).
+//   3. Apply phase, per shard (parallelizable): each shard applies the
+//      arrivals addressed TO it — previous shard's down-list, own local
+//      list, next shard's up-list, i.e. ascending source-router order —
+//      then credits, then compacts its worklists. Only the owning shard
+//      ever writes its routers, so phases 1 and 3 are data-race-free by
+//      partition.
+//   4. Serial coordinator phase: ejection statistics and the delivery
+//      listener run on the calling thread, shards in ascending order —
+//      so the order-sensitive floating-point latency accumulation and
+//      listener callbacks happen in ascending router-id order, BYTE-
+//      IDENTICAL to the single-shard, single-thread sweep at any shard
+//      or thread count. (Within phase 3, interleaving across staging
+//      lists is state-equivalent: at most one flit per (router, port,
+//      VC) arrives per cycle and credit increments commute.)
+//
+// Two worklists per shard keep idle structure off the per-cycle path:
+//  * active_routers — a router ENTERS when a flit is delivered to it
 //    (NI injection or link arrival) while not already listed, and LEAVES
 //    at the end-of-step compaction once `buffered_flits() == 0`. A router
 //    with an Active-but-empty VC (wormhole body flits still upstream) has
@@ -26,21 +52,30 @@
 //    re-activates it — can give it work. Credit returns never activate:
 //    credits matter only to routers that hold flits, which are listed.
 //    Invariant between steps: buffered_flits(r) > 0  =>  r is listed.
-//  * active_sources_ — a node ENTERS when inject() lands a packet in its
+//  * active_sources — a node ENTERS when inject() lands a packet in its
 //    empty source queue and LEAVES at the network-interface compaction
 //    once the queue is empty (including after a quarantine flush).
 //    Invariant between steps: !source_queue_empty(n)  =>  n is listed.
 //  In both lists the membership flag (router_active_ / source_active_)
 //  mirrors list membership exactly, and a list may transiently hold
-//  already-drained entries until its next compaction. Worklists are
-//  sorted ascending before each sweep so ejection (and its floating-point
-//  stats accumulation) happens in router-id order — byte-identical to the
-//  pre-worklist full sweep.
+//  already-drained entries until its next compaction. Before each sweep a
+//  list is brought into ascending order — by sorting when sparse, or by
+//  rebuilding from the membership flags when dense (cheaper than
+//  sort at saturation) — so every sweep visits routers in id order. A
+//  shard whose worklists are empty costs nothing: quiescent regions of a
+//  large mesh are skipped wholesale (the activity-driven fast path).
+//
+// Mesh::step performs ZERO steady-state heap allocations: every arena —
+// per-shard staging lists included — is reserved at its physical per-cycle
+// maximum in the constructor (tests/noc_ring_test.cpp counts allocations,
+// sharded configurations included).
 // ---------------------------------------------------------------------------
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/geometry.hpp"
@@ -54,12 +89,22 @@ struct MeshConfig {
   MeshShape shape = MeshShape::square(8);
   RouterConfig router;
   std::int32_t packet_length_flits = 5;  ///< default packet size (1 head + 3 body + 1 tail)
+  /// Row-band shards for Mesh::step. 0 = auto (rows/8, clamped to [1, 8]);
+  /// explicit values are clamped to [1, rows]. Results are bitwise
+  /// identical at ANY shard count — sharding only re-groups the sweep.
+  std::int32_t shards = 0;
+  /// Worker threads stepping the shards. 0 = auto (min(shards, hardware
+  /// concurrency)); explicit values are clamped to [1, shards]. 1 = fully
+  /// serial (no pool is created). Results are bitwise identical at ANY
+  /// thread count — see the phase contract above.
+  std::int32_t step_threads = 0;
 };
 
 /// Observer of packet deliveries: invoked once per delivered packet (its
 /// tail flit) as the ejection is recorded, in ascending router-id order
 /// within a cycle — the same deterministic order the latency stats
-/// accumulate in. The request/reply workload endpoints (src/workload/)
+/// accumulate in (the serial coordinator phase, regardless of shard or
+/// thread count). The request/reply workload endpoints (src/workload/)
 /// register one so delivered requests can be turned into replies after a
 /// service latency; packets the listener does not recognize (other
 /// generators' traffic, flooding overlays) are simply not its to handle.
@@ -72,10 +117,22 @@ class PacketDeliveryListener {
 class Mesh {
  public:
   explicit Mesh(const MeshConfig& cfg);
+  ~Mesh();
+  Mesh(Mesh&&) noexcept;
+  Mesh& operator=(Mesh&&) noexcept;
+  Mesh(const Mesh&) = delete;
+  Mesh& operator=(const Mesh&) = delete;
 
   [[nodiscard]] const MeshConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const MeshShape& shape() const noexcept { return cfg_.shape; }
   [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  /// Resolved row-band shard count (cfg.shards with auto/clamping applied).
+  [[nodiscard]] std::int32_t shard_count() const noexcept {
+    return static_cast<std::int32_t>(shards_.size());
+  }
+  /// Resolved stepping thread count (1 = serial).
+  [[nodiscard]] std::int32_t step_thread_count() const noexcept { return step_threads_; }
 
   [[nodiscard]] Router& router(NodeId id) { return routers_[static_cast<std::size_t>(id)]; }
   [[nodiscard]] const Router& router(NodeId id) const {
@@ -183,19 +240,62 @@ class Mesh {
     std::int32_t vc;
   };
 
-  void run_network_interfaces();
-  /// Put a router on the active worklist (idempotent).
+  /// One contiguous row band of routers plus everything its worker needs
+  /// to step them without touching another shard's state (see the phase
+  /// contract in the header block).
+  struct Shard {
+    NodeId first = 0;  ///< first router id of the band (inclusive)
+    NodeId end = 0;    ///< one past the band's last router id
+
+    // Worklists (per-shard restriction of the former global lists).
+    std::vector<NodeId> active_routers;
+    std::vector<NodeId> active_sources;
+    std::vector<NodeId> order_scratch;  ///< dense-mode ascending rebuild
+
+    // Per-router step scratch (cleared per router, capacity kept).
+    std::vector<LinkTransfer> transfers;
+    std::vector<CreditReturn> credit_scratch;
+
+    // Staging arenas, filled by this shard's route phase and consumed by
+    // the (possibly remote) apply phases after the barrier. "prev"/"next"
+    // address the adjacent shard; row bands guarantee nothing crosses
+    // further. All reserved at physical maxima in the constructor.
+    std::vector<PendingTransfer> arrivals_local;
+    std::vector<PendingTransfer> arrivals_prev;
+    std::vector<PendingTransfer> arrivals_next;
+    std::vector<PendingCredit> credits_local;
+    std::vector<PendingCredit> credits_prev;
+    std::vector<PendingCredit> credits_next;
+    std::vector<Flit> ejected;  ///< ascending router order within the shard
+  };
+
+  class StepPool;  // persistent worker pool + barrier (mesh.cpp)
+
+  void ni_phase(Shard& sh);
+  void route_phase(Shard& sh);
+  void apply_phase(std::size_t s);
+  void finish_cycle();
+  /// Phases 1-3 for every shard owned by `participant` (strided).
+  void step_shards(std::int32_t participant);
+  /// Bring a worklist into ascending order (sort when sparse, rebuild from
+  /// the membership flags when dense).
+  void order_worklist(std::vector<NodeId>& list, std::vector<NodeId>& scratch,
+                      const std::vector<char>& flags, NodeId first, NodeId end);
+
+  /// Put a router on its shard's active worklist (idempotent).
   void activate_router(NodeId id) {
     if (router_active_[static_cast<std::size_t>(id)] == 0) {
       router_active_[static_cast<std::size_t>(id)] = 1;
-      active_routers_.push_back(id);
+      shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(id)])]
+          .active_routers.push_back(id);
     }
   }
-  /// Put a source queue on the active worklist (idempotent).
+  /// Put a source queue on its shard's active worklist (idempotent).
   void activate_source(NodeId id) {
     if (source_active_[static_cast<std::size_t>(id)] == 0) {
       source_active_[static_cast<std::size_t>(id)] = 1;
-      active_sources_.push_back(id);
+      shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(id)])]
+          .active_sources.push_back(id);
     }
   }
 
@@ -215,19 +315,19 @@ class Mesh {
   LatencyStats stats_;
   LatencyStats benign_stats_;
 
-  // Worklists (see the invariants block at the top of this header).
-  std::vector<NodeId> active_routers_;
-  std::vector<char> router_active_;
-  std::vector<NodeId> active_sources_;
-  std::vector<char> source_active_;
+  // Shard partition (see header block). shard_of_ maps node -> shard
+  // index; neighbors_ memoizes MeshShape::neighbor per direction (-1 at
+  // edges) so the staging loops never re-derive coordinates by division.
+  std::vector<Shard> shards_;
+  std::vector<std::int32_t> shard_of_;
+  std::vector<std::array<NodeId, kNumMeshDirections>> neighbors_;
+  std::int32_t step_threads_ = 1;
+  std::unique_ptr<StepPool> pool_;  ///< nullptr when step_threads_ == 1
 
-  // Per-cycle scratch arenas: cleared (capacity kept) every cycle, so
-  // steady-state stepping allocates nothing.
-  std::vector<PendingTransfer> arrivals_;
-  std::vector<PendingCredit> credit_updates_;
-  std::vector<LinkTransfer> transfers_;
-  std::vector<CreditReturn> credits_;
-  std::vector<Flit> ejected_;
+  // Worklist membership flags (global, indexed by node id; each entry is
+  // only written by the node's owning shard during parallel phases).
+  std::vector<char> router_active_;
+  std::vector<char> source_active_;
 };
 
 /// Full XY route from src to dst, inclusive of both endpoints.

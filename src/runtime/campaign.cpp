@@ -42,6 +42,8 @@ JobResult run_job(const CampaignConfig& cfg, const core::PipelineEngine& engine,
   noc::MeshConfig mesh_cfg;
   mesh_cfg.shape = cfg.params.mesh;
   mesh_cfg.router = cfg.router;
+  mesh_cfg.shards = cfg.mesh_shards;
+  mesh_cfg.step_threads = cfg.mesh_step_threads;
   traffic::Simulation sim(mesh_cfg);
   scenario->install(sim, job_seed ^ 0x9e3779b97f4a7c15ULL);
 

@@ -106,6 +106,13 @@ struct CampaignConfig {
   DefenseConfig defense;
   noc::RouterConfig router;
   double recovery_ratio = 2.0;
+  /// Row-band shards for each job's Mesh::step (noc::MeshConfig::shards);
+  /// 0 = auto. Results are bitwise identical at any value.
+  std::int32_t mesh_shards = 0;
+  /// Stepping threads per mesh (noc::MeshConfig::step_threads). Defaults
+  /// to 1 — campaigns already parallelize across jobs, so per-mesh threads
+  /// would only oversubscribe the pool. Bitwise identical at any value.
+  std::int32_t mesh_step_threads = 1;
 };
 
 struct JobResult {

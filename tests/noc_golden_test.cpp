@@ -103,10 +103,14 @@ void capture_final(const Mesh& mesh, Golden& g) {
 
 /// Scenario A: 8x8 default router config, 5-flit benign packets, periodic
 /// two-attacker flood, mid-attack quarantine flush, full drain.
-Golden run_scenario_a() {
+/// `shards`/`step_threads` select the row-band stepping partition (ISSUE
+/// 9); every golden below must hold at ANY value of either.
+Golden run_scenario_a(std::int32_t shards = 0, std::int32_t step_threads = 0) {
   noc::MeshConfig cfg;
   cfg.shape = MeshShape::square(8);
   cfg.packet_length_flits = 5;
+  cfg.shards = shards;
+  cfg.step_threads = step_threads;
   traffic::Simulation sim(cfg);
   sim.emplace_generator<traffic::SyntheticTraffic>(traffic::SyntheticPattern::UniformRandom,
                                                    0.02, /*seed=*/11);
@@ -134,12 +138,14 @@ Golden run_scenario_a() {
 
 /// Scenario B: small 4x4 mesh with 2 VCs of depth 2 (maximum ring-buffer
 /// wraparound pressure), 3-flit packets, saturating single attacker.
-Golden run_scenario_b() {
+Golden run_scenario_b(std::int32_t shards = 0, std::int32_t step_threads = 0) {
   noc::MeshConfig cfg;
   cfg.shape = MeshShape::square(4);
   cfg.packet_length_flits = 3;
   cfg.router.vcs_per_port = 2;
   cfg.router.vc_depth = 2;
+  cfg.shards = shards;
+  cfg.step_threads = step_threads;
   traffic::Simulation sim(cfg);
   sim.emplace_generator<traffic::SyntheticTraffic>(traffic::SyntheticPattern::UniformRandom,
                                                    0.05, /*seed=*/5);
@@ -155,6 +161,35 @@ Golden run_scenario_b() {
   sim.mesh().set_quarantined(0, true);
   sim.run_drain(20000);
   EXPECT_TRUE(sim.mesh().drained());
+  capture_final(sim.mesh(), g);
+  return g;
+}
+
+/// Scenario C: 32x32 short run — large enough that the auto shard count
+/// is 4 (rows/8), so the default configuration exercises the sharded
+/// stepping engine with real cross-band traffic. Two corner attackers
+/// flood a center victim over uniform-random benign load; no drain (the
+/// flood is still in flight at capture, maximizing in-network state).
+Golden run_scenario_c(std::int32_t shards = 0, std::int32_t step_threads = 0) {
+  noc::MeshConfig cfg;
+  cfg.shape = MeshShape::square(32);
+  cfg.packet_length_flits = 5;
+  cfg.shards = shards;
+  cfg.step_threads = step_threads;
+  traffic::Simulation sim(cfg);
+  sim.emplace_generator<traffic::SyntheticTraffic>(traffic::SyntheticPattern::UniformRandom,
+                                                   0.02, /*seed=*/29);
+  traffic::AttackScenario s;
+  s.attackers = {0, 31};
+  s.victim = 528;  // row 16, col 16
+  s.fir = 0.9;
+  sim.emplace_generator<traffic::FloodingAttack>(s, /*seed=*/31);
+
+  Golden g;
+  sim.run(400);
+  probe_mid(sim.mesh(), g);
+  sim.mesh().set_quarantined(0, true);
+  sim.run(200);
   capture_final(sim.mesh(), g);
   return g;
 }
@@ -272,6 +307,72 @@ TEST(NocGolden, ScenarioBMatchesPreRefactorSimulator) {
   g.benign_packet_latency_sum = 0x1.23ap+12;
   g.occ_sum_mid = 0x1.ac44444444443p+2;
   expect_equal(got, g);
+}
+
+TEST(NocGolden, ScenarioC32x32ShortRun) {
+  const Golden got = run_scenario_c();
+  if (print_mode()) {
+    print_golden("ScenarioC", got);
+    return;
+  }
+  Golden g;
+  // Captured from this simulator at the sharded engine's introduction; the
+  // shard sweep below certifies the literals are shard-count-invariant.
+  g.flits_ejected = 54813;
+  g.packets_ejected = 10941;
+  g.benign_flits = 54657;
+  g.benign_packets = 10785;
+  g.packets_dropped = 331;
+  g.max_queue_len = 323;
+  g.flits_in_network_mid = 6594;
+  g.writes_total = 1276917;
+  g.reads_total = 1270105;
+  g.hist_hash = 15059536214648112658ULL;
+  g.telem_hash = 6021732447557465192ULL;
+  g.avg_flit_queue = 0x1.318aa1d951cd7p+1;
+  g.avg_flit = 0x1.a90551d238726p+5;
+  g.avg_packet_queue = 0x1.265686d211bc6p+2;
+  g.avg_packet = 0x1.f5beb80cea734p+5;
+  g.packet_latency_sum = 0x1.4f0eep+19;
+  g.benign_packet_latency_sum = 0x1.3a2c8p+19;
+  g.occ_sum_mid = 0x1.553c99999998ep+10;
+  expect_equal(got, g);
+}
+
+// The sharded stepping engine (ISSUE 9) must reproduce the serial sweep
+// bit-for-bit at ANY shard/thread combination: same ejection counts, same
+// order-sensitive floating-point latency sums, same telemetry hashes. Each
+// sweep fixes the scenario and varies only the partition.
+
+TEST(NocGolden, ScenarioAShardSweepBitwiseIdentical) {
+  if (print_mode()) return;
+  const Golden reference = run_scenario_a(/*shards=*/1, /*step_threads=*/1);
+  for (const std::int32_t k : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    expect_equal(run_scenario_a(k, /*step_threads=*/0), reference);
+  }
+}
+
+TEST(NocGolden, ScenarioBShardSweepBitwiseIdentical) {
+  if (print_mode()) return;
+  // 4 rows -> at most 4 row bands; 3 exercises the uneven 2+1+1 split.
+  const Golden reference = run_scenario_b(/*shards=*/1, /*step_threads=*/1);
+  for (const std::int32_t k : {2, 3, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    expect_equal(run_scenario_b(k, /*step_threads=*/0), reference);
+  }
+}
+
+TEST(NocGolden, ScenarioCShardSweepBitwiseIdentical) {
+  if (print_mode()) return;
+  const Golden reference = run_scenario_c(/*shards=*/1, /*step_threads=*/1);
+  for (const std::int32_t k : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    expect_equal(run_scenario_c(k, /*step_threads=*/0), reference);
+  }
+  // Threads pinned above the shard count (clamped back) and a deliberately
+  // uneven 32 = 7-band split round out the partition edge cases.
+  expect_equal(run_scenario_c(/*shards=*/7, /*step_threads=*/16), reference);
 }
 
 }  // namespace
