@@ -29,15 +29,51 @@
 #include <atomic>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "common/cpuid.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
 #include "monitor/dataset.hpp"
+#include "nn/layers.hpp"
 
 using namespace dl2f;
 
 namespace {
+
+/// FLOPs of one detector forward pass over one window (mul + add counted
+/// separately; activation/pool layers are negligible and skipped).
+std::int64_t detector_flops_per_window(const nn::Sequential& model, nn::Tensor3 shape) {
+  std::int64_t flops = 0;
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    const nn::Layer& layer = model.layer(l);
+    const nn::Tensor3 out = layer.output_shape(shape);
+    if (const auto* conv = dynamic_cast<const nn::Conv2D*>(&layer)) {
+      flops += 2LL * conv->in_channels() * conv->kernel() * conv->kernel() * out.channels() *
+               out.height() * out.width();
+    } else if (const auto* dense = dynamic_cast<const nn::Dense*>(&layer)) {
+      flops += 2LL * dense->in_features() * dense->out_features();
+    }
+    shape = out;
+  }
+  return flops;
+}
+
+/// CPUs the calling thread may run on (0 when the platform cannot say) —
+/// the affinity context concurrent-session numbers depend on.
+int affinity_cpu_count() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) return CPU_COUNT(&set);
+#endif
+  return 0;
+}
 
 monitor::FrameSample synthetic_window(const monitor::FrameGeometry& geom, Rng& rng) {
   monitor::FrameSample s;
@@ -71,8 +107,24 @@ double throughput(std::size_t windows, std::int32_t repeats, Fn&& fn) {
 int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--quick") quick = true;
+    const std::string_view arg(argv[i]);
+    if (arg == "--quick") quick = true;
+    if (arg == "--gemm-backend" && i + 1 < argc) {
+      common::SimdLevel level{};
+      if (!common::parse_simd_level(argv[++i], level)) {
+        std::cerr << "bench_inference: unknown --gemm-backend '" << argv[i]
+                  << "' (scalar|sse2|avx2)\n";
+        return 2;
+      }
+      const common::SimdLevel got = common::force_simd_level(level);
+      if (got != level) {
+        std::cerr << "bench_inference: --gemm-backend " << common::simd_level_name(level)
+                  << " not supported by this CPU; clamped to " << common::simd_level_name(got)
+                  << "\n";
+      }
+    }
   }
+  const char* backend = common::simd_level_name(common::active_simd_level());
 
   const MeshShape mesh = MeshShape::square(16);  // the paper's STP mesh
   const std::size_t num_windows = quick ? 256 : 1024;
@@ -96,8 +148,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < num_windows; ++i) windows.push_back(synthetic_window(geom, data_rng));
   const monitor::WindowBatch batch{windows.data(), windows.size()};
 
+  const std::int64_t flops_per_window =
+      detector_flops_per_window(engine.detector().model(), engine.detector().input_shape());
+
   std::cout << "bench_inference: " << num_windows << " synthetic 16x16 windows, best of "
-            << repeats << " repeats" << (quick ? " (quick)" : "") << "\n\n";
+            << repeats << " repeats" << (quick ? " (quick)" : "") << ", gemm backend " << backend
+            << ", " << flops_per_window << " FLOP/window\n\n";
 
   // Parity gate: the batched const path must be bitwise-identical to the
   // legacy per-window training-forward path.
@@ -134,6 +190,27 @@ int main(int argc, char** argv) {
     }));
   }
 
+  // Arm 2b: the int8 quantized path at batch 32 (per-sample dynamic
+  // activation scales, exact int32 cores) — the deploy-mode companion
+  // number; accuracy deltas are gated by bench_robustness --quant. The
+  // fallback rate says how often the guard band re-scored a
+  // near-threshold window in float (high on this bench's random-ish
+  // scores; a trained detector is saturated and rarely falls back).
+  fence.mutable_engine().quantize();
+  double quant32_wps = 0.0;
+  double quant_fallback_rate = 0.0;
+  {
+    core::PipelineSession session(engine, 32, core::PipelineSession::Precision::Int8);
+    quant32_wps = throughput(num_windows, repeats, [&] {
+      const auto rounds = session.process_batch(batch);
+      checksum += rounds.back().probability;
+    });
+    if (session.windows_scored() > 0) {
+      quant_fallback_rate = static_cast<double>(session.int8_fallback_windows()) /
+                            static_cast<double>(session.windows_scored());
+    }
+  }
+
   // Arm 3: 1/2/4 sessions over one shared engine, disjoint shards. Each
   // session is constructed ON its worker thread (per-thread malloc arenas
   // put every session's scratch on disjoint pages — the false-sharing
@@ -144,8 +221,13 @@ int main(int argc, char** argv) {
   // flat (~1x) total throughput; on an N-core runner near-linear.
   const std::vector<std::int32_t> session_counts{1, 2, 4};
   std::vector<double> session_wps;
+  // Per-session (backend, affinity-cpu-count) pairs, recorded ON each
+  // worker thread: the numbers a reader needs to judge whether flat
+  // scaling means "one core" or "a dispatch regression".
+  std::vector<std::vector<std::pair<const char*, int>>> session_detail;
   for (const std::int32_t n : session_counts) {
     double best_seconds = std::numeric_limits<double>::infinity();
+    std::vector<std::pair<const char*, int>> detail(static_cast<std::size_t>(n), {backend, 0});
     for (std::int32_t r = 0; r < repeats; ++r) {
       std::atomic<std::int32_t> ready{0};
       std::atomic<bool> go{false};
@@ -156,6 +238,8 @@ int main(int argc, char** argv) {
       for (std::int32_t t = 0; t < n; ++t) {
         pool.emplace_back([&, t] {
           core::PipelineSession session(engine, 32);  // on-thread arenas
+          detail[static_cast<std::size_t>(t)] = {
+              common::simd_level_name(common::active_simd_level()), affinity_cpu_count()};
           ready.fetch_add(1);
           while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
           const std::size_t lo = static_cast<std::size_t>(t) * shard;
@@ -173,18 +257,32 @@ int main(int argc, char** argv) {
       best_seconds = std::min(best_seconds, std::chrono::duration<double>(t1 - t0).count());
     }
     session_wps.push_back(static_cast<double>(num_windows) / best_seconds);
+    session_detail.push_back(std::move(detail));
   }
 
   const double speedup32 = batch_wps[2] / single_wps;
+  const auto gflops = [flops_per_window](double wps) {
+    return wps * static_cast<double>(flops_per_window) / 1e9;
+  };
 
-  std::cout << "\n  single_window (legacy mutable forward): " << single_wps << " windows/s\n";
+  std::cout << "\n  single_window (legacy mutable forward): " << single_wps << " windows/s ("
+            << gflops(single_wps) << " GFLOP/s, " << backend << ")\n";
   for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
     std::cout << "  session batch " << batch_sizes[i] << ": " << batch_wps[i] << " windows/s ("
-              << batch_wps[i] / single_wps << "x single)\n";
+              << batch_wps[i] / single_wps << "x single, " << gflops(batch_wps[i])
+              << " GFLOP/s)\n";
   }
+  std::cout << "  int8 session batch 32: " << quant32_wps << " windows/s ("
+            << quant32_wps / single_wps << "x single, float-fallback rate "
+            << quant_fallback_rate << ")\n";
   for (std::size_t i = 0; i < session_counts.size(); ++i) {
     std::cout << "  " << session_counts[i] << " session(s), one engine: " << session_wps[i]
-              << " windows/s\n";
+              << " windows/s [";
+    for (std::size_t t = 0; t < session_detail[i].size(); ++t) {
+      std::cout << (t == 0 ? "" : ", ") << session_detail[i][t].first << "/"
+                << session_detail[i][t].second << "cpu";
+    }
+    std::cout << "]\n";
   }
   std::cout << "  checksum " << checksum << "\n";
 
@@ -196,14 +294,32 @@ int main(int argc, char** argv) {
        << "  \"repeats\": " << repeats << ",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"gemm_backend\": \"" << backend << "\",\n"
+       << "  \"affinity_cpus\": " << affinity_cpu_count() << ",\n"
+       << "  \"detector_flops_per_window\": " << flops_per_window << ",\n"
        << "  \"single_window_wps\": " << single_wps << ",\n"
+       << "  \"single_window_gflops\": " << gflops(single_wps) << ",\n"
        << "  \"batch_wps\": {";
   for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
     json << (i == 0 ? "" : ", ") << "\"" << batch_sizes[i] << "\": " << batch_wps[i];
   }
-  json << "},\n  \"sessions_wps\": {";
+  json << "},\n  \"batch_gflops\": {";
+  for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << batch_sizes[i] << "\": " << gflops(batch_wps[i]);
+  }
+  json << "},\n  \"quant_batch32_wps\": " << quant32_wps
+       << ",\n  \"quant_fallback_rate\": " << quant_fallback_rate << ",\n  \"sessions_wps\": {";
   for (std::size_t i = 0; i < session_counts.size(); ++i) {
     json << (i == 0 ? "" : ", ") << "\"" << session_counts[i] << "\": " << session_wps[i];
+  }
+  json << "},\n  \"sessions_detail\": {";
+  for (std::size_t i = 0; i < session_counts.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << session_counts[i] << "\": [";
+    for (std::size_t t = 0; t < session_detail[i].size(); ++t) {
+      json << (t == 0 ? "" : ", ") << "{\"backend\": \"" << session_detail[i][t].first
+           << "\", \"affinity_cpus\": " << session_detail[i][t].second << "}";
+    }
+    json << "]";
   }
   json << "},\n"
        << "  \"speedup_batch32_vs_single_window\": " << speedup32 << "\n"

@@ -32,13 +32,34 @@
 #include <thread>
 #include <vector>
 
+#include "common/cpuid.hpp"
 #include "core/detector.hpp"
 #include "core/localizer.hpp"
 #include "monitor/dataset.hpp"
+#include "nn/layers.hpp"
 
 using namespace dl2f;
 
 namespace {
+
+/// FLOPs of one forward pass (mul + add counted separately; activation
+/// and pool layers negligible). One training step costs roughly 3x this:
+/// forward + grad-input + grad-weights each do a comparable GEMM.
+std::int64_t forward_flops(const nn::Sequential& model, nn::Tensor3 shape) {
+  std::int64_t flops = 0;
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    const nn::Layer& layer = model.layer(l);
+    const nn::Tensor3 out = layer.output_shape(shape);
+    if (const auto* conv = dynamic_cast<const nn::Conv2D*>(&layer)) {
+      flops += 2LL * conv->in_channels() * conv->kernel() * conv->kernel() * out.channels() *
+               out.height() * out.width();
+    } else if (const auto* dense = dynamic_cast<const nn::Dense*>(&layer)) {
+      flops += 2LL * dense->in_features() * dense->out_features();
+    }
+    shape = out;
+  }
+  return flops;
+}
 
 template <typename Fn>
 double best_seconds(std::int32_t repeats, Fn&& fn) {
@@ -148,6 +169,22 @@ int main(int argc, char** argv) {
       static_cast<double>(data.samples.size()) * det_cfg.epochs +
       static_cast<double>(4 * data.samples.size()) * loc_cfg.epochs;
 
+  // Achieved training GFLOP/s on the 1-thread batched arm (~3x forward
+  // per item-step; see forward_flops).
+  const char* backend = common::simd_level_name(common::active_simd_level());
+  double train_flops = 0.0;
+  {
+    core::DoSDetector det(det_arch);
+    core::DoSLocalizer loc(loc_arch);
+    const auto det_fwd = static_cast<double>(forward_flops(det.model(), det.input_shape()));
+    const auto loc_fwd = static_cast<double>(forward_flops(loc.model(), loc.input_shape()));
+    train_flops = 3.0 * (det_fwd * static_cast<double>(data.samples.size()) * det_cfg.epochs +
+                         loc_fwd * static_cast<double>(4 * data.samples.size()) * loc_cfg.epochs);
+  }
+  const double train_gflops = train_flops / batched_s.front() / 1e9;
+  std::cout << "backend " << backend << ", batched 1-thread arm ~" << train_gflops
+            << " GFLOP/s\n";
+
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"train\",\n"
@@ -158,6 +195,8 @@ int main(int argc, char** argv) {
        << "  \"localizer_epochs\": " << loc_cfg.epochs << ",\n"
        << "  \"repeats\": " << repeats << ",\n"
        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"gemm_backend\": \"" << backend << "\",\n"
+       << "  \"train_gflops_1thread\": " << train_gflops << ",\n"
        << "  \"reference_s\": " << reference_s << ",\n"
        << "  \"batched_s\": {";
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {

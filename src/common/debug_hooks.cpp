@@ -2,6 +2,7 @@
 
 #ifndef NDEBUG
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -54,6 +55,12 @@ NoAllocScope::~NoAllocScope() { t_active_scope = prev_; }
 AllocBypassScope::AllocBypassScope() noexcept { ++t_bypass_depth; }
 AllocBypassScope::~AllocBypassScope() { --t_bypass_depth; }
 
+void assert_simd_aligned(const void* p, const char* what) noexcept {
+  if (reinterpret_cast<std::uintptr_t>(p) % 32 == 0) return;
+  std::fprintf(stderr, "SIMD alignment violation: %s at %p is not 32-byte aligned\n", what, p);
+  std::abort();
+}
+
 }  // namespace dl2f::dbg
 
 // ---------------------------------------------------------------------------
@@ -78,5 +85,30 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+// Over-aligned forms (common/aligned.hpp allocates Tensor4/arena storage
+// through these): counted like the plain forms so NoAllocScope guards
+// aligned arena allocations too. aligned_alloc requires the size to be a
+// multiple of the alignment; rounding up only pads the block.
+namespace {
+void* aligned_counted_alloc(std::size_t size, std::align_val_t al) {
+  dl2f::dbg::note_allocation();
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t padded = (std::max<std::size_t>(size, 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, padded)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  return aligned_counted_alloc(size, al);
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return aligned_counted_alloc(size, al);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 #endif  // !NDEBUG

@@ -60,6 +60,11 @@ class AllocBypassScope {
   AllocBypassScope& operator=(const AllocBypassScope&) = delete;
 };
 
+/// Debug assertion that `p` honors the SIMD arena alignment contract
+/// (common/aligned.hpp): aborts with `what` when `p` is not 32-byte
+/// aligned. Inert under NDEBUG.
+void assert_simd_aligned(const void* p, const char* what) noexcept;
+
 #else  // NDEBUG: inert stand-ins, fully inlined away.
 
 [[nodiscard]] inline std::int64_t thread_allocation_count() noexcept { return -1; }
@@ -73,6 +78,8 @@ class AllocBypassScope {
  public:
   AllocBypassScope() noexcept {}
 };
+
+inline void assert_simd_aligned(const void* /*p*/, const char* /*what*/) noexcept {}
 
 #endif
 

@@ -1,7 +1,11 @@
-// The shared SGEMM microkernel the NN compute backend lowers onto: both
-// convolutions (via im2col packing) and dense layers (via sample-panel
-// packing) route their forward, inference and weight-gradient compute
-// through the kernels below.
+// The shared SGEMM microkernel layer the NN compute backend lowers onto:
+// both convolutions (via im2col packing or the pack-free valid-padding
+// kernel) and dense layers (via sample-panel packing) route their
+// forward, inference and weight-gradient compute through the kernels
+// below. Since the SIMD dispatch landed, every kernel exists as a table
+// of variants (scalar reference, SSE2, AVX2) selected once at startup by
+// common/cpuid.hpp; the free functions of this header always call the
+// active table.
 //
 // ---------------------------------------------------------------------------
 // ACCUM-ORDER: blocking and accumulation-order invariants (the
@@ -22,6 +26,23 @@
 //    dot-product form would need reassociation and is deliberately
 //    avoided. Pointers are __restrict so no runtime alias versioning is
 //    needed.
+//  * SIMD lane-ordering contract (the explicit-microkernel extension of
+//    the axpy rule): a vector lane NEVER spans the reduction index — lane
+//    j of every SIMD accumulator owns output element C[i][j0+j] for the
+//    kernel's whole k loop, advancing by one multiply and one add per
+//    step in exactly the scalar chain's order. Multiply and add stay
+//    SEPARATE instructions: fused multiply-add skips the intermediate
+//    rounding and is banned from these TUs (no FMA intrinsics, and the
+//    kernel TUs compile with -ffp-contract=off so the compiler cannot
+//    contract mul+add pairs behind our back). Register-blocked kernels
+//    (several rows/column-vectors of C held in registers across the k
+//    loop) only batch INDEPENDENT chains; holding a chain in a register
+//    instead of storing/reloading it cannot change a bit. Masked tail
+//    loads/stores cover the remainder lanes so no kernel ever reads past
+//    a row. Under this contract every table variant is bitwise-identical
+//    to the scalar reference — which is why runtime dispatch is safe in
+//    a bitwise-deterministic codebase, and why DL2F_FORCE_SCALAR=1 must
+//    reproduce every committed artifact byte for byte.
 //  * Cache blocking happens only over the output columns (kColPanel-wide
 //    panels, so a full panel of B rows stays L1-resident across the m
 //    output rows). Column blocking never touches the per-element
@@ -33,6 +54,14 @@
 //    arithmetic cannot drive to -0, and x + (+/-0) == x bitwise for every
 //    x except -0). The bitwise parity tests in tests/batch_train_test.cpp
 //    pin this empirically for every layer and padding mode.
+//  * The int8 kernels (gemm_s8_s32, quantize_s8) accumulate in exact
+//    int32 arithmetic, so THEIR ordering is free — any SIMD widening
+//    scheme is bitwise-equal to the scalar loop as long as no product
+//    saturates en route (which is why the kernels sign-extend through
+//    16/32-bit multiplies instead of using the saturating maddubs idiom).
+//    quantize_s8 rounds half-to-even (std::nearbyintf in the default FP
+//    environment == _mm256_round_ps nearest), keeping scalar and SIMD
+//    quantization bit-identical too.
 //  * Thread parallelism lives ABOVE the kernels (nn/train.hpp slices
 //    minibatches; one kernel call is always single-threaded), so results
 //    never depend on the worker count.
@@ -40,6 +69,8 @@
 #pragma once
 
 #include <cstdint>
+
+#include "common/cpuid.hpp"
 
 namespace dl2f::nn::gemm {
 
@@ -88,6 +119,18 @@ void gemm_accumulate_skipzero(std::int32_t m, std::int32_t n, std::int32_t k, co
                               std::int32_t lda, const float* b, std::int32_t ldb, float* c,
                               std::int32_t ldc, float* bias_grad);
 
+/// Direct (pack-free) stride-1 VALID-padding convolution forward of one
+/// CHW sample: dst(out_c x OH x OW) = bias[o] + sum over (i, dy, dx)
+/// ascending of w(o,i,dy,dx) * src(i, y+dy, x+dx), each output element
+/// one register-held chain in exactly the reference forward's tap order
+/// — which is also im2col's row order, so this kernel is bitwise-equal
+/// to im2col + gemm_bias while skipping the packing pass entirely (the
+/// detector's hot conv is Valid). OH = IH - K + 1, OW likewise. Weights
+/// are the Conv2D layout (out_c x in_c x K x K, row-major).
+void conv_forward_valid(const float* src, std::int32_t in_c, std::int32_t ih, std::int32_t iw,
+                        std::int32_t k, std::int32_t out_c, const float* w, const float* bias,
+                        float* dst);
+
 /// Direct (pack-free) weight + bias gradient of one stride-1 convolution
 /// sample: a bounds-hoisted transcription of the reference backward's
 /// (o, y, x) sweep with its g == 0 skip. Wins over im2row + GEMM when the
@@ -111,8 +154,56 @@ void conv_grad_input(const float* g, const float* w, std::int32_t in_c, std::int
                      std::int32_t iw, std::int32_t k, std::int32_t pad, std::int32_t out_c,
                      float* gi);
 
+/// Exact integer GEMM for the quantized inference path: C(m x n) =
+/// A(m x k) . B(k x n), int8 operands, int32 accumulation — no rounding
+/// and no saturation anywhere, so the result is the mathematical product
+/// on every variant (see the int8 invariant above).
+void gemm_s8_s32(std::int32_t m, std::int32_t n, std::int32_t k, const std::int8_t* a,
+                 std::int32_t lda, const std::int8_t* b, std::int32_t ldb, std::int32_t* c,
+                 std::int32_t ldc);
+
+/// Symmetric int8 quantization of a float block: dst[i] = clamp(round-
+/// half-even(src[i] * inv_scale), -127, 127). Bitwise-identical across
+/// variants (see the int8 invariant above).
+void quantize_s8(const float* src, std::int32_t n, float inv_scale, std::int8_t* dst);
+
 /// Number of elements of v[0..n) that are exactly non-zero (the path
 /// heuristic for conv_weight_bias_grad_direct).
 [[nodiscard]] std::int64_t nonzero_count(const float* v, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch. The free functions above call through the active
+// table; tests reach individual tiers via kernels_for() to sweep
+// remainder-lane shapes for bitwise parity.
+
+/// One tier's kernel set. Entries without a profitable SIMD form point at
+/// the shared implementation recompiled in that tier's TU.
+struct GemmKernels {
+  void (*gemm_bias)(std::int32_t, std::int32_t, std::int32_t, const float*, std::int32_t,
+                    const float*, std::int32_t, const float*, float*, std::int32_t);
+  void (*im2col)(const float*, std::int32_t, std::int32_t, std::int32_t, std::int32_t,
+                 std::int32_t, float*);
+  void (*im2row)(const float*, std::int32_t, std::int32_t, std::int32_t, std::int32_t,
+                 std::int32_t, float*);
+  void (*gemm_accumulate_skipzero)(std::int32_t, std::int32_t, std::int32_t, const float*,
+                                   std::int32_t, const float*, std::int32_t, float*, std::int32_t,
+                                   float*);
+  void (*conv_forward_valid)(const float*, std::int32_t, std::int32_t, std::int32_t, std::int32_t,
+                             std::int32_t, const float*, const float*, float*);
+  void (*conv_grad_input)(const float*, const float*, std::int32_t, std::int32_t, std::int32_t,
+                          std::int32_t, std::int32_t, std::int32_t, float*);
+  void (*gemm_s8_s32)(std::int32_t, std::int32_t, std::int32_t, const std::int8_t*, std::int32_t,
+                      const std::int8_t*, std::int32_t, std::int32_t*, std::int32_t);
+  void (*quantize_s8)(const float*, std::int32_t, float, std::int8_t*);
+};
+
+/// The kernel table of one tier. Requesting a tier the CPU cannot run is
+/// the caller's error (tests query common::detected_simd_level() first);
+/// on non-x86 builds every tier aliases the scalar table.
+[[nodiscard]] const GemmKernels& kernels_for(common::SimdLevel level) noexcept;
+
+/// The table the free functions dispatch through:
+/// kernels_for(common::active_simd_level()).
+[[nodiscard]] const GemmKernels& active_kernels() noexcept;
 
 }  // namespace dl2f::nn::gemm

@@ -1,0 +1,211 @@
+// The 4-lane (SSE2) kernel tier.
+//
+// ACCUM-ORDER: every explicit kernel below is lane-parallel over output
+// elements only — lane j of an xmm accumulator owns output column j0+j
+// for the whole k loop, advancing one separate multiply and one separate
+// add per step (no FMA intrinsics; the TU compiles with -ffp-contract=off
+// so the compiler cannot fuse them either). Per element the reduction
+// index ascends exactly as in the scalar reference, so this tier is
+// bitwise-identical to it; tests/gemm_dispatch_test.cpp sweeps remainder
+// shapes to pin that. Entries without a profitable explicit form reuse
+// the shared portable bodies (gemm_kernels_impl.hpp), recompiled here.
+#include "nn/gemm.hpp"
+
+#include "nn/gemm_kernels_impl.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+#endif
+
+namespace dl2f::nn::gemm {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// c[0..n) += s * b[0..n), 4 lanes at a time with a scalar tail. The
+/// tail uses the same mul-then-add sequence, so every element's chain is
+/// the reference's.
+inline void sse2_axpy(std::int32_t n, float s, const float* __restrict b, float* __restrict c) {
+  const __m128 vs = _mm_set1_ps(s);
+  std::int32_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128 prod = _mm_mul_ps(vs, _mm_loadu_ps(b + j));
+    _mm_storeu_ps(c + j, _mm_add_ps(_mm_loadu_ps(c + j), prod));
+  }
+  for (; j < n; ++j) c[j] += s * b[j];
+}
+
+void sse2_gemm_bias(std::int32_t m, std::int32_t n, std::int32_t k, const float* a,
+                    std::int32_t lda, const float* b, std::int32_t ldb, const float* bias, float* c,
+                    std::int32_t ldc) {
+  // Register-blocked panels: 16 output columns of one row held in 4 xmm
+  // accumulators across the whole k loop (holding a chain in a register
+  // instead of store/reload cannot change a bit — same adds, same order).
+  for (std::int32_t i = 0; i < m; ++i) {
+    const float* __restrict ar = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(lda);
+    float* __restrict cr = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(ldc);
+    const __m128 vbias = _mm_set1_ps(bias[i]);
+    std::int32_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m128 acc0 = vbias, acc1 = vbias, acc2 = vbias, acc3 = vbias;
+      const float* bp = b + j;
+      for (std::int32_t p = 0; p < k; ++p, bp += ldb) {
+        const __m128 va = _mm_set1_ps(ar[p]);
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, _mm_loadu_ps(bp)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, _mm_loadu_ps(bp + 4)));
+        acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, _mm_loadu_ps(bp + 8)));
+        acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, _mm_loadu_ps(bp + 12)));
+      }
+      _mm_storeu_ps(cr + j, acc0);
+      _mm_storeu_ps(cr + j + 4, acc1);
+      _mm_storeu_ps(cr + j + 8, acc2);
+      _mm_storeu_ps(cr + j + 12, acc3);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m128 acc = vbias;
+      const float* bp = b + j;
+      for (std::int32_t p = 0; p < k; ++p, bp += ldb) {
+        acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(ar[p]), _mm_loadu_ps(bp)));
+      }
+      _mm_storeu_ps(cr + j, acc);
+    }
+    for (; j < n; ++j) {
+      float acc = bias[i];
+      for (std::int32_t p = 0; p < k; ++p) {
+        acc += ar[p] * b[static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) + j];
+      }
+      cr[j] = acc;
+    }
+  }
+}
+
+void sse2_conv_forward_valid(const float* src, std::int32_t in_c, std::int32_t ih, std::int32_t iw,
+                             std::int32_t k, std::int32_t out_c, const float* w, const float* bias,
+                             float* dst) {
+  // One output row at a time, 4 columns per xmm accumulator, taps
+  // (i, dy, dx) ascending — the reference chain. For a full 4-wide chunk
+  // every tap load is in-bounds by construction (x + dx + 4 <= ow - 4 +
+  // dx + 4 <= iw). A ragged tail re-anchors the last chunk at ow - 4
+  // when ow >= 4: overlapped lanes recompute identical chains and store
+  // identical bits; only ow < 4 falls back to scalar chains.
+  const std::int32_t oh = ih - k + 1;
+  const std::int32_t ow = iw - k + 1;
+  const auto chunk = [&](const float* wo, __m128 acc, std::int32_t y, std::int32_t x) {
+    for (std::int32_t i = 0; i < in_c; ++i) {
+      for (std::int32_t dy = 0; dy < k; ++dy) {
+        const float* in_row =
+            src + (static_cast<std::size_t>(i) * ih + static_cast<std::size_t>(y + dy)) * iw + x;
+        const float* w_row = wo + static_cast<std::size_t>((i * k + dy) * k);
+        for (std::int32_t dx = 0; dx < k; ++dx) {
+          acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(w_row[dx]), _mm_loadu_ps(in_row + dx)));
+        }
+      }
+    }
+    return acc;
+  };
+  for (std::int32_t o = 0; o < out_c; ++o) {
+    const float* wo = w + static_cast<std::size_t>(o) * static_cast<std::size_t>(in_c * k * k);
+    const float bo = bias[o];
+    const __m128 vbias = _mm_set1_ps(bo);
+    for (std::int32_t y = 0; y < oh; ++y) {
+      float* __restrict out_row =
+          dst + (static_cast<std::size_t>(o) * oh + static_cast<std::size_t>(y)) * ow;
+      std::int32_t x = 0;
+      for (; x + 4 <= ow; x += 4) {
+        _mm_storeu_ps(out_row + x, chunk(wo, vbias, y, x));
+      }
+      if (x < ow && ow >= 4) {
+        _mm_storeu_ps(out_row + (ow - 4), chunk(wo, vbias, y, ow - 4));
+      } else {
+        for (; x < ow; ++x) {
+          float acc = bo;
+          for (std::int32_t i = 0; i < in_c; ++i) {
+            for (std::int32_t dy = 0; dy < k; ++dy) {
+              const float* in_row =
+                  src + (static_cast<std::size_t>(i) * ih + static_cast<std::size_t>(y + dy)) * iw +
+                  x;
+              const float* w_row = wo + static_cast<std::size_t>((i * k + dy) * k);
+              for (std::int32_t dx = 0; dx < k; ++dx) acc += w_row[dx] * in_row[dx];
+            }
+          }
+          out_row[x] = acc;
+        }
+      }
+    }
+  }
+}
+
+void sse2_skipzero(std::int32_t m, std::int32_t n, std::int32_t k, const float* a, std::int32_t lda,
+                   const float* b, std::int32_t ldb, float* c, std::int32_t ldc, float* bias_grad) {
+  impl_gemm_accumulate_skipzero(sse2_axpy, m, n, k, a, lda, b, ldb, c, ldc, bias_grad);
+}
+
+void sse2_conv_grad_input(const float* g, const float* w, std::int32_t in_c, std::int32_t ih,
+                          std::int32_t iw, std::int32_t k, std::int32_t pad, std::int32_t out_c,
+                          float* gi) {
+  impl_conv_grad_input(sse2_axpy, g, w, in_c, ih, iw, k, pad, out_c, gi);
+}
+
+void sse2_quantize_s8(const float* src, std::int32_t n, float inv_scale, std::int8_t* dst) {
+  // clamp-then-convert: _mm_cvtps_epi32 rounds to nearest-even (default
+  // MXCSR), and clamping at the integral bounds +/-127 before rounding
+  // yields the same integer as the scalar round-then-clamp for every
+  // finite input — both paths are monotone and agree inside the bounds.
+  const __m128 vinv = _mm_set1_ps(inv_scale);
+  const __m128 vlo = _mm_set1_ps(-127.0F);
+  const __m128 vhi = _mm_set1_ps(127.0F);
+  std::int32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128 v0 = _mm_min_ps(vhi, _mm_max_ps(vlo, _mm_mul_ps(_mm_loadu_ps(src + i), vinv)));
+    const __m128 v1 =
+        _mm_min_ps(vhi, _mm_max_ps(vlo, _mm_mul_ps(_mm_loadu_ps(src + i + 4), vinv)));
+    const __m128i w16 = _mm_packs_epi32(_mm_cvtps_epi32(v0), _mm_cvtps_epi32(v1));
+    const __m128i w8 = _mm_packs_epi16(w16, w16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i), w8);
+  }
+  for (; i < n; ++i) {
+    float r = std::nearbyintf(src[i] * inv_scale);
+    r = std::min(127.0F, std::max(-127.0F, r));
+    dst[i] = static_cast<std::int8_t>(static_cast<std::int32_t>(r));
+  }
+}
+
+constexpr GemmKernels kSse2Kernels = {
+    sse2_gemm_bias,         impl_im2col,          impl_im2row,      sse2_skipzero,
+    sse2_conv_forward_valid, sse2_conv_grad_input, impl_gemm_s8_s32, sse2_quantize_s8,
+};
+
+#else  // non-x86: the tier aliases the portable bodies of this TU.
+
+void fallback_gemm_bias(std::int32_t m, std::int32_t n, std::int32_t k, const float* a,
+                        std::int32_t lda, const float* b, std::int32_t ldb, const float* bias,
+                        float* c, std::int32_t ldc) {
+  impl_gemm_bias(ref_axpy, m, n, k, a, lda, b, ldb, bias, c, ldc);
+}
+
+void fallback_skipzero(std::int32_t m, std::int32_t n, std::int32_t k, const float* a,
+                       std::int32_t lda, const float* b, std::int32_t ldb, float* c,
+                       std::int32_t ldc, float* bias_grad) {
+  impl_gemm_accumulate_skipzero(ref_axpy, m, n, k, a, lda, b, ldb, c, ldc, bias_grad);
+}
+
+void fallback_conv_grad_input(const float* g, const float* w, std::int32_t in_c, std::int32_t ih,
+                              std::int32_t iw, std::int32_t k, std::int32_t pad, std::int32_t out_c,
+                              float* gi) {
+  impl_conv_grad_input(ref_axpy, g, w, in_c, ih, iw, k, pad, out_c, gi);
+}
+
+constexpr GemmKernels kSse2Kernels = {
+    fallback_gemm_bias,      impl_im2col,              impl_im2row,      fallback_skipzero,
+    impl_conv_forward_valid, fallback_conv_grad_input, impl_gemm_s8_s32, impl_quantize_s8,
+};
+
+#endif
+
+}  // namespace
+
+namespace detail {
+const GemmKernels& sse2_kernels() noexcept { return kSse2Kernels; }
+}  // namespace detail
+
+}  // namespace dl2f::nn::gemm

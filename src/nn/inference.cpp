@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/debug_hooks.hpp"
 #include "nn/model.hpp"
 
 namespace dl2f::nn {
@@ -49,6 +50,20 @@ void InferenceContext::bind(const Sequential& model, const Tensor3& input_shape,
     }
   }
   scratch_.assign(pad_to_line(scratch), 0.0F);
+
+#ifndef NDEBUG
+  // The arena contract: every activation block and the layer scratch sit
+  // on 32-byte boundaries (common::aligned_vector). Kernels never require
+  // it, but a silent regression here would cost packing performance.
+  for (const Tensor4& a : acts_) {
+    if (!a.data().empty()) dbg::assert_simd_aligned(a.data().data(), "InferenceContext activation");
+  }
+  if (!scratch_.empty()) dbg::assert_simd_aligned(scratch_.data(), "InferenceContext scratch");
+#endif
+}
+
+void InferenceContext::reserve_bytes(std::size_t bytes) {
+  if (byte_scratch_.size() < bytes) byte_scratch_.assign(bytes, std::byte{0});
 }
 
 void InferenceContext::bind_train(const Sequential& model, const Tensor3& input_shape,

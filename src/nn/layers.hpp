@@ -34,6 +34,8 @@ class Conv2D final : public Layer {
   [[nodiscard]] std::int32_t kernel() const noexcept { return k_; }
   [[nodiscard]] std::int32_t in_channels() const noexcept { return in_c_; }
   [[nodiscard]] std::int32_t out_channels() const noexcept { return out_c_; }
+  /// Zero-padding per side (0 for Valid, (k-1)/2 for Same).
+  [[nodiscard]] std::int32_t pad() const noexcept { return pad_; }
 
  private:
   [[nodiscard]] float& w(std::int32_t o, std::int32_t i, std::int32_t dy, std::int32_t dx) {
@@ -133,6 +135,9 @@ class Dense final : public Layer {
   [[nodiscard]] std::size_t num_params() const override { return 2; }
   void init_weights(Rng& rng) override;
   [[nodiscard]] Tensor3 output_shape(const Tensor3& input_shape) const override;
+
+  [[nodiscard]] std::int32_t in_features() const noexcept { return in_f_; }
+  [[nodiscard]] std::int32_t out_features() const noexcept { return out_f_; }
 
  private:
   std::int32_t in_f_, out_f_;

@@ -1,0 +1,391 @@
+// ACCUM-ORDER: the integer cores this TU calls (gemm::gemm_s8_s32) give
+// each int32 output one accumulator walked in ascending reduction order;
+// integer accumulation — including the zero-point row-sum correction —
+// is exact, so ordering cannot change results. The contract here is that
+// quantize/dequantize are the ONLY rounding steps and each uses
+// round-half-even in the default FP environment, keeping quantized
+// inference bitwise-identical across SIMD tiers.
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "nn/gemm.hpp"
+#include "nn/inference.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+
+namespace dl2f::nn {
+
+namespace {
+
+constexpr std::uint32_t kQuantMagic = 0x38'51'4C'44;  ///< "DLQ8" little-endian
+
+/// Round a byte count up to the 32-byte arena granularity so every
+/// scratch section starts SIMD-aligned (the byte arena base is aligned by
+/// common::aligned_vector).
+constexpr std::size_t align32(std::size_t bytes) { return (bytes + 31) & ~std::size_t{31}; }
+
+float abs_max(const float* v, std::size_t n) {
+  float m = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(v[i]));
+  return m;
+}
+
+/// Per-sample asymmetric activation quantization (see quant.hpp): codes
+/// q in [0, 255] with zero-point zp, stored offset by 128 as int8 so the
+/// signed integer GEMM consumes them directly.
+struct ActQuant {
+  float scale = 0.0F;   ///< dequant step; 0 iff the sample was all-zero
+  std::int32_t zp = 0;  ///< code of real zero, in [0, 255]
+};
+
+ActQuant quantize_act(const float* x, std::size_t n, std::int8_t* dst) {
+  // Widen the range to include 0 so real zero (and conv padding) always
+  // has an exact code.
+  float lo = 0.0F, hi = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  ActQuant a;
+  if (hi == lo) return a;  // lo <= 0 <= hi, so equal means all-zero
+  a.scale = (hi - lo) / 255.0F;
+  const float inv = 255.0F / (hi - lo);
+  a.zp = static_cast<std::int32_t>(std::nearbyintf(-lo * inv));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = static_cast<std::int32_t>(std::nearbyintf(x[i] * inv)) + a.zp;
+    dst[i] = static_cast<std::int8_t>(std::clamp(r, 0, 255) - 128);
+  }
+  return a;
+}
+
+/// int8 im2col, identical layout and border semantics to gemm::im2col
+/// (nn/gemm.hpp): row (c, dy, dx), column (y, x). Padding taps write
+/// `pad_value` — the caller passes the byte that encodes real zero
+/// (zp - 128), whose contribution the zero-point correction removes
+/// exactly.
+void im2col_s8(const std::int8_t* src, std::int32_t c, std::int32_t h, std::int32_t w,
+               std::int32_t k, std::int32_t pad, std::int8_t pad_value, std::int8_t* col) {
+  const std::int32_t oh = h + 2 * pad - k + 1;
+  const std::int32_t ow = w + 2 * pad - k + 1;
+  const std::size_t p = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+  std::int8_t* __restrict dst = col;
+  for (std::int32_t ch = 0; ch < c; ++ch) {
+    const std::int8_t* plane = src + static_cast<std::size_t>(ch) * static_cast<std::size_t>(h * w);
+    for (std::int32_t dy = 0; dy < k; ++dy) {
+      for (std::int32_t dx = 0; dx < k; ++dx, dst += p) {
+        for (std::int32_t y = 0; y < oh; ++y) {
+          const std::int32_t iy = y + dy - pad;
+          std::int8_t* out_row = dst + static_cast<std::size_t>(y) * static_cast<std::size_t>(ow);
+          if (iy < 0 || iy >= h) {
+            std::memset(out_row, static_cast<unsigned char>(pad_value),
+                        static_cast<std::size_t>(ow));
+            continue;
+          }
+          const std::int32_t x_lo = std::max(0, pad - dx);
+          const std::int32_t x_hi = std::min(ow, w + pad - dx);
+          for (std::int32_t x = 0; x < x_lo; ++x) out_row[x] = pad_value;
+          if (x_hi > x_lo) {
+            std::memcpy(out_row + x_lo, plane + static_cast<std::size_t>(iy) * w + (x_lo + dx - pad),
+                        static_cast<std::size_t>(x_hi - x_lo));
+          }
+          for (std::int32_t x = std::max(x_hi, x_lo); x < ow; ++x) out_row[x] = pad_value;
+        }
+      }
+    }
+  }
+}
+
+/// Byte-arena section offsets of one quantized conv: [int8 sample][int8
+/// im2col panel][int32 accumulators], each section 32-byte aligned.
+struct ConvScratch {
+  std::size_t panel_off = 0, acc_off = 0, total = 0;
+};
+
+ConvScratch conv_scratch(std::int32_t in_c, std::int32_t out_c, std::int32_t k, std::int32_t pad,
+                         std::int32_t ih, std::int32_t iw) {
+  const std::int32_t oh = ih + 2 * pad - k + 1;
+  const std::int32_t ow = iw + 2 * pad - k + 1;
+  const auto p = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+  const auto ckk = static_cast<std::size_t>(in_c * k * k);
+  ConvScratch s;
+  s.panel_off = align32(static_cast<std::size_t>(in_c * ih * iw));
+  s.acc_off = s.panel_off + align32(ckk * p);
+  s.total = s.acc_off + align32(static_cast<std::size_t>(out_c) * p * sizeof(std::int32_t));
+  return s;
+}
+
+/// Dense sections: [int8 sample][int32 accumulators].
+struct DenseScratch {
+  std::size_t acc_off = 0, total = 0;
+};
+
+DenseScratch dense_scratch(std::int32_t in_f, std::int32_t out_f) {
+  DenseScratch s;
+  s.acc_off = align32(static_cast<std::size_t>(in_f));
+  s.total = s.acc_off + align32(static_cast<std::size_t>(out_f) * sizeof(std::int32_t));
+  return s;
+}
+
+template <typename T>
+bool write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  return os.good();
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return is.good();
+}
+
+}  // namespace
+
+QuantizedTensor quantize_symmetric(const float* src, std::size_t n) {
+  QuantizedTensor t;
+  t.q.resize(n);
+  const float amax = abs_max(src, n);
+  if (amax == 0.0F) return t;  // scale 0, all-zero q
+  t.scale = amax / 127.0F;
+  gemm::quantize_s8(src, static_cast<std::int32_t>(n), 127.0F / amax, t.q.data());
+  return t;
+}
+
+namespace {
+
+/// Per-output-row sums of the quantized weights — the integer constant
+/// the activation zero-point correction multiplies. Derived from wq, so
+/// load() recomputes it after overwriting the bytes.
+void row_sums(const std::vector<std::int8_t>& wq, std::size_t rows,
+              std::vector<std::int32_t>& sums) {
+  sums.assign(rows, 0);
+  if (rows == 0) return;
+  const std::size_t cols = wq.size() / rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int32_t s = 0;
+    for (std::size_t c = 0; c < cols; ++c) s += wq[r * cols + c];
+    sums[r] = s;
+  }
+}
+
+/// Quantize a row-major `rows x cols` weight matrix one output row at a
+/// time (per-output-channel scales) into rec.wq / rec.wscale / rec.wrowsum.
+void quantize_weight_rows(const float* src, std::size_t rows, std::size_t cols,
+                          std::vector<std::int8_t>& wq, std::vector<float>& wscale,
+                          std::vector<std::int32_t>& wrowsum) {
+  wq.assign(rows * cols, 0);
+  wscale.assign(rows, 0.0F);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = src + r * cols;
+    const float amax = abs_max(row, cols);
+    if (amax == 0.0F) continue;  // scale 0, zero bytes: dequant is exact
+    wscale[r] = amax / 127.0F;
+    gemm::quantize_s8(row, static_cast<std::int32_t>(cols), 127.0F / amax, wq.data() + r * cols);
+  }
+  row_sums(wq, rows, wrowsum);
+}
+
+}  // namespace
+
+QuantizedSequential QuantizedSequential::from_model(Sequential& model, const Tensor3& input_shape) {
+  QuantizedSequential qs;
+  qs.records_.reserve(model.layer_count());
+  Tensor3 shape = input_shape;
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    Layer& layer = model.layer(l);
+    Record rec;
+    rec.layer = &layer;
+    if (auto* conv = dynamic_cast<Conv2D*>(&layer)) {
+      rec.kind = Record::Kind::Conv;
+      rec.in_c = conv->in_channels();
+      rec.out_c = conv->out_channels();
+      rec.k = conv->kernel();
+      rec.pad = conv->pad();
+      const std::vector<Param*> params = conv->params();
+      quantize_weight_rows(params[0]->value.data(), static_cast<std::size_t>(rec.out_c),
+                           params[0]->value.size() / static_cast<std::size_t>(rec.out_c), rec.wq,
+                           rec.wscale, rec.wrowsum);
+      rec.bias = params[1]->value;
+      qs.scratch_bytes_ = std::max(
+          qs.scratch_bytes_,
+          conv_scratch(rec.in_c, rec.out_c, rec.k, rec.pad, shape.height(), shape.width()).total);
+    } else if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      rec.kind = Record::Kind::Dense;
+      rec.in_f = dense->in_features();
+      rec.out_f = dense->out_features();
+      const std::vector<Param*> params = dense->params();
+      quantize_weight_rows(params[0]->value.data(), static_cast<std::size_t>(rec.out_f),
+                           static_cast<std::size_t>(rec.in_f), rec.wq, rec.wscale, rec.wrowsum);
+      rec.bias = params[1]->value;
+      qs.scratch_bytes_ = std::max(qs.scratch_bytes_, dense_scratch(rec.in_f, rec.out_f).total);
+    }
+    shape = layer.output_shape(shape);
+    qs.records_.push_back(std::move(rec));
+  }
+  return qs;
+}
+
+void QuantizedSequential::conv_infer(const Record& rec, const Tensor4& in, Tensor4& out,
+                                     std::byte* scratch) {
+  const std::int32_t ih = in.height(), iw = in.width();
+  const std::int32_t oh = out.height(), ow = out.width();
+  const auto p = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+  const std::int32_t ckk = rec.in_c * rec.k * rec.k;
+  const auto plane = static_cast<std::size_t>(rec.in_c * ih * iw);
+  const ConvScratch sc = conv_scratch(rec.in_c, rec.out_c, rec.k, rec.pad, ih, iw);
+  auto* xq = reinterpret_cast<std::int8_t*>(scratch);
+  auto* panel = reinterpret_cast<std::int8_t*>(scratch + sc.panel_off);
+  auto* acc = reinterpret_cast<std::int32_t*>(scratch + sc.acc_off);
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* x = in.sample(s);
+    float* y = out.sample(s);
+    const ActQuant aq = quantize_act(x, plane, xq);
+    if (aq.scale == 0.0F) {
+      // All-zero sample: the integer product is exactly zero, leaving
+      // the bias broadcast — which is exact.
+      for (std::int32_t o = 0; o < rec.out_c; ++o) {
+        float* yo = y + static_cast<std::size_t>(o) * p;
+        for (std::size_t j = 0; j < p; ++j) yo[j] = rec.bias[static_cast<std::size_t>(o)];
+      }
+      continue;
+    }
+    im2col_s8(xq, rec.in_c, ih, iw, rec.k, rec.pad, static_cast<std::int8_t>(aq.zp - 128), panel);
+    gemm::gemm_s8_s32(rec.out_c, static_cast<std::int32_t>(p), ckk, rec.wq.data(), ckk, panel,
+                      static_cast<std::int32_t>(p), acc, static_cast<std::int32_t>(p));
+    const std::int32_t corr = 128 - aq.zp;
+    for (std::int32_t o = 0; o < rec.out_c; ++o) {
+      const float b = rec.bias[static_cast<std::size_t>(o)];
+      const float dq = rec.wscale[static_cast<std::size_t>(o)] * aq.scale;
+      const std::int32_t off = corr * rec.wrowsum[static_cast<std::size_t>(o)];
+      const std::int32_t* row = acc + static_cast<std::size_t>(o) * p;
+      float* yo = y + static_cast<std::size_t>(o) * p;
+      for (std::size_t j = 0; j < p; ++j) yo[j] = b + static_cast<float>(row[j] + off) * dq;
+    }
+  }
+}
+
+void QuantizedSequential::dense_infer(const Record& rec, const Tensor4& in, Tensor4& out,
+                                      std::byte* scratch) {
+  assert(static_cast<std::int32_t>(in.sample_size()) == rec.in_f);
+  const auto in_f = static_cast<std::size_t>(rec.in_f);
+  const DenseScratch sc = dense_scratch(rec.in_f, rec.out_f);
+  auto* xq = reinterpret_cast<std::int8_t*>(scratch);
+  auto* acc = reinterpret_cast<std::int32_t*>(scratch + sc.acc_off);
+  for (std::int32_t s = 0; s < in.batch(); ++s) {
+    const float* x = in.sample(s);
+    float* y = out.sample(s);
+    const ActQuant aq = quantize_act(x, in_f, xq);
+    if (aq.scale == 0.0F) {
+      for (std::int32_t o = 0; o < rec.out_f; ++o) y[o] = rec.bias[static_cast<std::size_t>(o)];
+      continue;
+    }
+    gemm::gemm_s8_s32(rec.out_f, 1, rec.in_f, rec.wq.data(), rec.in_f, xq, 1, acc, 1);
+    const std::int32_t corr = 128 - aq.zp;
+    for (std::int32_t o = 0; o < rec.out_f; ++o) {
+      y[o] = rec.bias[static_cast<std::size_t>(o)] +
+             static_cast<float>(acc[o] + corr * rec.wrowsum[static_cast<std::size_t>(o)]) *
+                 (rec.wscale[static_cast<std::size_t>(o)] * aq.scale);
+    }
+  }
+}
+
+const Tensor4& QuantizedSequential::infer_batch(InferenceContext& ctx) const {
+  assert(!records_.empty() && ctx.bound());
+  std::vector<Tensor4>& acts = ctx.acts_;
+  assert(acts.size() == records_.size() + 1);
+  assert(ctx.byte_scratch_.size() >= scratch_bytes_);
+  const std::int32_t n = acts.front().batch();
+  std::byte* scratch = ctx.byte_scratch_.data();
+  for (std::size_t l = 0; l < records_.size(); ++l) {
+    const Record& rec = records_[l];
+    const Tensor4& in = acts[l];
+    Tensor4& out = acts[l + 1];
+    out.set_batch(n);
+    switch (rec.kind) {
+      case Record::Kind::Passthrough:
+        rec.layer->infer_batch(in, out, ctx.scratch_.data());
+        break;
+      case Record::Kind::Conv:
+        conv_infer(rec, in, out, scratch);
+        break;
+      case Record::Kind::Dense:
+        dense_infer(rec, in, out, scratch);
+        break;
+    }
+  }
+  return acts.back();
+}
+
+bool QuantizedSequential::save(std::ostream& os) const {
+  if (!write_pod(os, kQuantMagic)) return false;
+  if (!write_pod(os, static_cast<std::uint32_t>(records_.size()))) return false;
+  for (const Record& rec : records_) {
+    if (!write_pod(os, static_cast<std::uint8_t>(rec.kind))) return false;
+    if (rec.kind == Record::Kind::Passthrough) continue;
+    if (!write_pod(os, rec.in_c) || !write_pod(os, rec.out_c) || !write_pod(os, rec.k) ||
+        !write_pod(os, rec.pad) || !write_pod(os, rec.in_f) || !write_pod(os, rec.out_f)) {
+      return false;
+    }
+    if (!write_pod(os, static_cast<std::uint64_t>(rec.wscale.size()))) return false;
+    os.write(reinterpret_cast<const char*>(rec.wscale.data()),
+             static_cast<std::streamsize>(rec.wscale.size() * sizeof(float)));
+    if (!write_pod(os, static_cast<std::uint64_t>(rec.wq.size()))) return false;
+    os.write(reinterpret_cast<const char*>(rec.wq.data()),
+             static_cast<std::streamsize>(rec.wq.size()));
+    if (!write_pod(os, static_cast<std::uint64_t>(rec.bias.size()))) return false;
+    os.write(reinterpret_cast<const char*>(rec.bias.data()),
+             static_cast<std::streamsize>(rec.bias.size() * sizeof(float)));
+    if (!os.good()) return false;
+  }
+  return os.good();
+}
+
+bool QuantizedSequential::load(std::istream& is, Sequential& model, const Tensor3& input_shape) {
+  records_.clear();
+  scratch_bytes_ = 0;
+  // Rebuild the skeleton (geometry, borrowed layer pointers, scratch
+  // sizing) from the float model, then overwrite the derived weight bytes
+  // with the stream's — so every structural field is cross-checked against
+  // the architecture rather than trusted from the blob.
+  QuantizedSequential expect = from_model(model, input_shape);
+  std::uint32_t magic = 0, count = 0;
+  if (!read_pod(is, magic) || magic != kQuantMagic) return false;
+  if (!read_pod(is, count) || count != expect.records_.size()) return false;
+  for (Record& rec : expect.records_) {
+    std::uint8_t kind = 0;
+    if (!read_pod(is, kind) || kind != static_cast<std::uint8_t>(rec.kind)) return false;
+    if (rec.kind == Record::Kind::Passthrough) continue;
+    std::int32_t in_c = 0, out_c = 0, k = 0, pad = 0, in_f = 0, out_f = 0;
+    if (!read_pod(is, in_c) || !read_pod(is, out_c) || !read_pod(is, k) || !read_pod(is, pad) ||
+        !read_pod(is, in_f) || !read_pod(is, out_f)) {
+      return false;
+    }
+    if (in_c != rec.in_c || out_c != rec.out_c || k != rec.k || pad != rec.pad ||
+        in_f != rec.in_f || out_f != rec.out_f) {
+      return false;
+    }
+    std::uint64_t sn = 0;
+    if (!read_pod(is, sn) || sn != rec.wscale.size()) return false;
+    is.read(reinterpret_cast<char*>(rec.wscale.data()),
+            static_cast<std::streamsize>(sn * sizeof(float)));
+    std::uint64_t qn = 0;
+    if (!read_pod(is, qn) || qn != rec.wq.size()) return false;
+    is.read(reinterpret_cast<char*>(rec.wq.data()), static_cast<std::streamsize>(qn));
+    row_sums(rec.wq, rec.wscale.size(), rec.wrowsum);  // derived from the stream's bytes
+    std::uint64_t bn = 0;
+    if (!read_pod(is, bn) || bn != rec.bias.size()) return false;
+    is.read(reinterpret_cast<char*>(rec.bias.data()),
+            static_cast<std::streamsize>(bn * sizeof(float)));
+    if (!is.good()) return false;
+  }
+  records_ = std::move(expect.records_);
+  scratch_bytes_ = expect.scratch_bytes_;
+  return true;
+}
+
+}  // namespace dl2f::nn

@@ -1,0 +1,140 @@
+// Post-training symmetric int8 quantization of the CNN stack — the
+// integer companion to the float SIMD path (nn/gemm.hpp).
+//
+// Scheme (symmetric, per-output-channel weights — the standard PTQ
+// configuration for conv nets):
+//
+//   * WEIGHTS are quantized once, per OUTPUT ROW of each layer's weight
+//     matrix (= per conv output channel / per dense output feature):
+//     scale_w[o] = amax(|W[o,:]|) / 127, q = clamp(round-half-even(w /
+//     scale_w[o]), -127, 127). Per-row scales matter: one large filter
+//     would otherwise crush every other channel's resolution, and the
+//     full-matrix robustness gate (bench_robustness --quant, per-cell
+//     F1 delta <= 0.02) fails with a single per-tensor scale. Biases
+//     stay float (they are added after dequantization, so quantizing
+//     them would only add error for zero gain).
+//   * ACTIVATIONS are quantized per SAMPLE at inference time,
+//     ASYMMETRIC 8-bit with a dynamic range: over that sample's input
+//     block, scale_a = (hi - lo) / 255 and zero-point zp =
+//     round-half-even(-lo / scale_a), where [lo, hi] is the sample's
+//     value range widened to include 0. Asymmetry matters here: every
+//     quantized layer's input is one-sided (normalized counter frames
+//     and post-ReLU activations are >= 0), so a symmetric scheme would
+//     waste the sign bit and halve resolution — which is exactly the
+//     error that flipped near-threshold verdicts and failed the
+//     robustness gate. The codes q in [0, 255] are stored offset by 128
+//     as int8 (q - 128), so the exact s8 x s8 -> s32 core is reused
+//     unchanged; the offset and zero-point are removed after the GEMM
+//     with a per-output-row correction (128 - zp) * sum(Wq[o,:]), which
+//     is exact int32 arithmetic. Dynamic per-sample ranges keep every
+//     window's result independent of whatever else shares its batch —
+//     the same batch-composition-independence contract the float path
+//     has — and need no calibration dataset.
+//   * The integer core is exact: int8 x int8 -> int32 accumulation via
+//     gemm::gemm_s8_s32 (no rounding, no saturation), so the ONLY
+//     rounding steps are the two quantizations and the final
+//     dequantization out = bias + (i32 + correction) * (scale_w[o] *
+//     scale_a). That makes quantized outputs bitwise-reproducible
+//     across every SIMD tier and across DL2F_FORCE_SCALAR=1, same as
+//     the float path.
+//   * Real zero always has an exact code (the range is widened to
+//     include 0), so conv zero-padding stays exact: padded im2col taps
+//     write the byte zp - 128 and the row correction annihilates them.
+//     An all-zero input sample has no representable range; the layer
+//     output collapses to the bias broadcast, which is exact. An
+//     all-zero weight row needs no special case: its q bytes are all
+//     zero, so the integer row and its correction are zero and dequant
+//     yields the bias.
+//
+// Only Conv2D and Dense carry quantized weights; every other layer of a
+// model (ReLU, MaxPool2D, Flatten, Sigmoid, ...) runs its float
+// infer_batch unchanged between the quantized layers. A
+// QuantizedSequential BORROWS the float model's layers (Layer addresses
+// are stable across Sequential moves — the container holds unique_ptrs)
+// and scores through the SAME InferenceContext the float model binds:
+// activations stay float tensors; the int8/int32 staging lives in the
+// context's byte arena, reserved up front so scoring stays
+// allocation-free (NoAllocScope-clean).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dl2f::nn {
+
+class InferenceContext;
+class Layer;
+class Sequential;
+
+/// One per-tensor symmetrically quantized float block (the building
+/// block: weight matrices quantize one output row at a time with this).
+struct QuantizedTensor {
+  std::vector<std::int8_t> q;
+  float scale = 0.0F;  ///< dequant multiplier; 0 iff the source was all-zero
+};
+
+/// scale = amax(|src|) / 127; q[i] = clamp(round-half-even(src[i] /
+/// scale), -127, 127). All-zero input yields scale 0 and all-zero q.
+[[nodiscard]] QuantizedTensor quantize_symmetric(const float* src, std::size_t n);
+
+/// The int8 twin of a Sequential: quantized Conv2D/Dense weights plus
+/// borrowed pointers to every float layer. Derivation is deterministic —
+/// from_model on the same float weights always produces byte-identical
+/// quantized tensors, on every SIMD tier.
+class QuantizedSequential {
+ public:
+  QuantizedSequential() = default;
+
+  /// Derive the quantized twin of `model` for inputs of `input_shape`.
+  /// `model` is borrowed per layer and must outlive the result (moving
+  /// the Sequential is fine; destroying or restructuring it is not).
+  [[nodiscard]] static QuantizedSequential from_model(Sequential& model,
+                                                      const Tensor3& input_shape);
+
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Byte-arena bytes one inference needs (int8 sample + int8 im2col
+  /// panel + int32 accumulators, each 32-byte aligned). Callers pass this
+  /// to InferenceContext::reserve_bytes at session construction.
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept { return scratch_bytes_; }
+
+  /// Quantized batched inference through a context bound to the FLOAT
+  /// model this twin was derived from (same activation shapes; the float
+  /// weights themselves are only read by passthrough layers). Stage
+  /// samples via ctx.input(n) exactly like Sequential::infer_batch.
+  /// Allocation-free once ctx.reserve_bytes(scratch_bytes()) has run.
+  const Tensor4& infer_batch(InferenceContext& ctx) const;
+
+  /// Serialize the quantized weights (scales, int8 tensors, float
+  /// biases) with a geometry header. Returns stream health.
+  bool save(std::ostream& os) const;
+
+  /// Restore from a save() stream against the float `model` it was
+  /// derived from. On any mismatch (magic, layer kinds, geometry, block
+  /// sizes) returns false and leaves *this empty.
+  bool load(std::istream& is, Sequential& model, const Tensor3& input_shape);
+
+ private:
+  struct Record {
+    enum class Kind : std::uint8_t { Passthrough = 0, Conv = 1, Dense = 2 };
+    Kind kind = Kind::Passthrough;
+    const Layer* layer = nullptr;  ///< borrowed from the float model
+    std::int32_t in_c = 0, out_c = 0, k = 0, pad = 0;  ///< Conv geometry
+    std::int32_t in_f = 0, out_f = 0;                  ///< Dense geometry
+    std::vector<std::int8_t> wq;     ///< row-major int8 weights (Conv/Dense only)
+    std::vector<float> wscale;       ///< per-output-row dequant scales
+    std::vector<std::int32_t> wrowsum;  ///< per-row sum(wq[o,:]) for the zp correction
+    std::vector<float> bias;         ///< float copy (never quantized)
+  };
+
+  static void conv_infer(const Record& rec, const Tensor4& in, Tensor4& out, std::byte* scratch);
+  static void dense_infer(const Record& rec, const Tensor4& in, Tensor4& out, std::byte* scratch);
+
+  std::vector<Record> records_;
+  std::size_t scratch_bytes_ = 0;
+};
+
+}  // namespace dl2f::nn

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/frame.hpp"
 
 namespace dl2f::nn {
@@ -147,12 +148,17 @@ class Tensor4 {
     return sample(n)[static_cast<std::size_t>((c * h_ + h) * w_ + w)];
   }
 
-  [[nodiscard]] std::vector<float>& data() noexcept { return data_; }
-  [[nodiscard]] const std::vector<float>& data() const noexcept { return data_; }
+  [[nodiscard]] common::aligned_vector<float>& data() noexcept { return data_; }
+  [[nodiscard]] const common::aligned_vector<float>& data() const noexcept { return data_; }
 
  private:
   std::int32_t n_ = 0, c_ = 0, h_ = 0, w_ = 0;
-  std::vector<float> data_;
+  // 32-byte-aligned backing store: sample(0) (and the whole NCHW block)
+  // starts on a SIMD register boundary. Kernels still use unaligned
+  // loads — alignment is a cache/packing nicety, never a correctness
+  // requirement — but Debug builds assert it (nn/inference.cpp) so the
+  // allocation path cannot silently regress.
+  common::aligned_vector<float> data_;
 };
 
 }  // namespace dl2f::nn

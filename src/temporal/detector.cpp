@@ -95,7 +95,7 @@ nn::Tensor3 TemporalDetector::preprocess(monitor::SequenceView seq) const {
   nn::Tensor4 staged(1, shape.channels(), shape.height(), shape.width());
   preprocess_into(seq, staged, 0);
   nn::Tensor3 out(shape.channels(), shape.height(), shape.width());
-  out.data() = staged.data();
+  out.data().assign(staged.data().begin(), staged.data().end());
   return out;
 }
 

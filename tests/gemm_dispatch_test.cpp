@@ -1,0 +1,175 @@
+// Bitwise-parity sweep of the SIMD kernel tiers against the scalar
+// reference (the dispatch contract in nn/gemm.hpp): every tier the CPU
+// can run must produce byte-identical output on every kernel, including
+// every remainder-lane shape — the M, N, K sweep below hits below-one-
+// vector, exactly-one-vector, vector+tail and multi-vector+tail cases
+// for both the 4-lane (SSE2) and 8-lane (AVX2) kernels.
+#include "nn/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/cpuid.hpp"
+#include "common/rng.hpp"
+
+namespace dl2f::nn::gemm {
+namespace {
+
+using common::SimdLevel;
+
+const std::int32_t kSweep[] = {1, 3, 7, 8, 9, 31, 33};
+
+std::vector<SimdLevel> available_tiers() {
+  std::vector<SimdLevel> tiers;
+  if (common::detected_simd_level() >= SimdLevel::Sse2) tiers.push_back(SimdLevel::Sse2);
+  if (common::detected_simd_level() >= SimdLevel::Avx2) tiers.push_back(SimdLevel::Avx2);
+  return tiers;
+}
+
+std::vector<float> random_block(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return v;
+}
+
+#define EXPECT_BITWISE_EQ(a, b)                                                       \
+  EXPECT_EQ(0, std::memcmp((a).data(), (b).data(), (a).size() * sizeof((a)[0])))      \
+      << "tier " << common::simd_level_name(tier) << " diverges from scalar"
+
+TEST(GemmDispatch, GemmBiasBitwiseParityAcrossTiers) {
+  const GemmKernels& ref = kernels_for(SimdLevel::Scalar);
+  Rng rng(41);
+  for (SimdLevel tier : available_tiers()) {
+    const GemmKernels& kt = kernels_for(tier);
+    for (std::int32_t m : kSweep) {
+      for (std::int32_t n : kSweep) {
+        for (std::int32_t k : kSweep) {
+          const auto a = random_block(static_cast<std::size_t>(m * k), rng);
+          const auto b = random_block(static_cast<std::size_t>(k * n), rng);
+          const auto bias = random_block(static_cast<std::size_t>(m), rng);
+          std::vector<float> c_ref(static_cast<std::size_t>(m * n), -1.0F);
+          std::vector<float> c_simd(static_cast<std::size_t>(m * n), +1.0F);
+          ref.gemm_bias(m, n, k, a.data(), k, b.data(), n, bias.data(), c_ref.data(), n);
+          kt.gemm_bias(m, n, k, a.data(), k, b.data(), n, bias.data(), c_simd.data(), n);
+          EXPECT_BITWISE_EQ(c_ref, c_simd) << " at m=" << m << " n=" << n << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmDispatch, ConvForwardValidBitwiseParityAcrossTiers) {
+  // Plane widths crossing the 4- and 8-lane boundaries (ow = iw - k + 1),
+  // channel counts exercising the 4/2/1 register-block groups.
+  const GemmKernels& ref = kernels_for(SimdLevel::Scalar);
+  Rng rng(42);
+  for (SimdLevel tier : available_tiers()) {
+    const GemmKernels& kt = kernels_for(tier);
+    for (std::int32_t iw : {3, 5, 8, 10, 15, 16, 33}) {
+      for (std::int32_t out_c : {1, 2, 3, 4, 5, 8}) {
+        const std::int32_t in_c = 3, k = 3, ih = 9;
+        if (iw < k) continue;
+        const std::int32_t oh = ih - k + 1, ow = iw - k + 1;
+        const auto src = random_block(static_cast<std::size_t>(in_c * ih * iw), rng);
+        const auto w = random_block(static_cast<std::size_t>(out_c * in_c * k * k), rng);
+        const auto bias = random_block(static_cast<std::size_t>(out_c), rng);
+        std::vector<float> d_ref(static_cast<std::size_t>(out_c * oh * ow), -1.0F);
+        std::vector<float> d_simd(d_ref.size(), +1.0F);
+        ref.conv_forward_valid(src.data(), in_c, ih, iw, k, out_c, w.data(), bias.data(),
+                               d_ref.data());
+        kt.conv_forward_valid(src.data(), in_c, ih, iw, k, out_c, w.data(), bias.data(),
+                              d_simd.data());
+        EXPECT_BITWISE_EQ(d_ref, d_simd) << " at iw=" << iw << " out_c=" << out_c;
+      }
+    }
+  }
+}
+
+TEST(GemmDispatch, SkipzeroAndGradInputBitwiseParityAcrossTiers) {
+  const GemmKernels& ref = kernels_for(SimdLevel::Scalar);
+  Rng rng(43);
+  for (SimdLevel tier : available_tiers()) {
+    const GemmKernels& kt = kernels_for(tier);
+    for (std::int32_t n : kSweep) {
+      const std::int32_t m = 5, k = 9;
+      auto a = random_block(static_cast<std::size_t>(m * k), rng);
+      for (std::size_t i = 0; i < a.size(); i += 3) a[i] = 0.0F;  // exercise the skip
+      const auto b = random_block(static_cast<std::size_t>(k * n), rng);
+      std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.5F);
+      std::vector<float> c_simd(c_ref);
+      std::vector<float> bias_ref(static_cast<std::size_t>(m), 0.0F);
+      std::vector<float> bias_simd(bias_ref);
+      ref.gemm_accumulate_skipzero(m, n, k, a.data(), k, b.data(), n, c_ref.data(), n,
+                                   bias_ref.data());
+      kt.gemm_accumulate_skipzero(m, n, k, a.data(), k, b.data(), n, c_simd.data(), n,
+                                  bias_simd.data());
+      EXPECT_BITWISE_EQ(c_ref, c_simd) << " at n=" << n;
+      EXPECT_BITWISE_EQ(bias_ref, bias_simd);
+    }
+
+    for (std::int32_t iw : {4, 9, 15, 33}) {
+      const std::int32_t in_c = 2, ih = 8, k = 3, pad = 1, out_c = 3;
+      const std::int32_t oh = ih + 2 * pad - k + 1, ow = iw + 2 * pad - k + 1;
+      const auto g = random_block(static_cast<std::size_t>(out_c * oh * ow), rng);
+      const auto w = random_block(static_cast<std::size_t>(out_c * in_c * k * k), rng);
+      std::vector<float> gi_ref(static_cast<std::size_t>(in_c * ih * iw), -1.0F);
+      std::vector<float> gi_simd(gi_ref.size(), +1.0F);
+      ref.conv_grad_input(g.data(), w.data(), in_c, ih, iw, k, pad, out_c, gi_ref.data());
+      kt.conv_grad_input(g.data(), w.data(), in_c, ih, iw, k, pad, out_c, gi_simd.data());
+      EXPECT_BITWISE_EQ(gi_ref, gi_simd) << " at iw=" << iw;
+    }
+  }
+}
+
+TEST(GemmDispatch, Int8KernelsBitwiseParityAcrossTiers) {
+  const GemmKernels& ref = kernels_for(SimdLevel::Scalar);
+  Rng rng(44);
+  for (SimdLevel tier : available_tiers()) {
+    const GemmKernels& kt = kernels_for(tier);
+    for (std::int32_t n : kSweep) {
+      // quantize_s8, including exact halfway points (round half to even)
+      // and values the +/-127 clamp must catch.
+      std::vector<float> src(static_cast<std::size_t>(n));
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        src[i] = i % 5 == 0 ? (static_cast<float>(i) + 0.5F)
+                            : static_cast<float>(rng.uniform(-300.0, 300.0));
+      }
+      std::vector<std::int8_t> q_ref(src.size(), 42);
+      std::vector<std::int8_t> q_simd(src.size(), -42);
+      ref.quantize_s8(src.data(), n, 1.0F, q_ref.data());
+      kt.quantize_s8(src.data(), n, 1.0F, q_simd.data());
+      EXPECT_BITWISE_EQ(q_ref, q_simd) << " at n=" << n;
+
+      // gemm_s8_s32: exact integer accumulation at every shape.
+      const std::int32_t m = 4, k = 11;
+      std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+      std::vector<std::int8_t> b(static_cast<std::size_t>(k * n));
+      for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+      for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+      a[1] = 0;  // exercise the s == 0 skip
+      std::vector<std::int32_t> c_ref(static_cast<std::size_t>(m * n), -7);
+      std::vector<std::int32_t> c_simd(c_ref.size(), +7);
+      ref.gemm_s8_s32(m, n, k, a.data(), k, b.data(), n, c_ref.data(), n);
+      kt.gemm_s8_s32(m, n, k, a.data(), k, b.data(), n, c_simd.data(), n);
+      EXPECT_BITWISE_EQ(c_ref, c_simd) << " at n=" << n;
+    }
+  }
+}
+
+TEST(GemmDispatch, ForceScalarPinsActiveTable) {
+  const SimdLevel before = common::active_simd_level();
+  EXPECT_EQ(common::force_simd_level(SimdLevel::Scalar), SimdLevel::Scalar);
+  EXPECT_EQ(common::active_simd_level(), SimdLevel::Scalar);
+  EXPECT_EQ(&active_kernels(), &kernels_for(SimdLevel::Scalar));
+  // Requests above the detected level clamp down instead of faulting.
+  const SimdLevel clamped = common::force_simd_level(SimdLevel::Avx2);
+  EXPECT_LE(clamped, common::detected_simd_level());
+  EXPECT_EQ(&active_kernels(), &kernels_for(clamped));
+  common::force_simd_level(before);
+}
+
+}  // namespace
+}  // namespace dl2f::nn::gemm

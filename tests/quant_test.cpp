@@ -1,0 +1,239 @@
+#include "nn/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "monitor/dataset.hpp"
+#include "nn/inference.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "runtime/campaign.hpp"
+
+namespace dl2f::nn {
+namespace {
+
+Sequential make_tiny_model() {
+  Sequential m;
+  m.emplace<Conv2D>(2, 4, 3, Padding::Valid);
+  m.emplace<ReLU>();
+  m.emplace<Flatten>();
+  m.emplace<Dense>(4 * 4 * 3, 1);
+  m.emplace<Sigmoid>();
+  Rng rng(11);
+  m.init_weights(rng);
+  return m;
+}
+
+const Tensor3 kTinyShape(2, 6, 5);
+
+Tensor4 random_batch(std::int32_t n, Rng& rng) {
+  Tensor4 t(n, kTinyShape.channels(), kTinyShape.height(), kTinyShape.width());
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(QuantizeSymmetric, RoundTripErrorBoundedByHalfScale) {
+  Rng rng(5);
+  std::vector<float> src(257);
+  for (float& v : src) v = static_cast<float>(rng.uniform(-3.0, 3.0));
+  src[17] = 3.0F;  // pin the amax element
+  const QuantizedTensor t = quantize_symmetric(src.data(), src.size());
+  ASSERT_GT(t.scale, 0.0F);
+  EXPECT_FLOAT_EQ(t.scale, 3.0F / 127.0F);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float back = static_cast<float>(t.q[i]) * t.scale;
+    // Symmetric round-to-nearest: dequantization error is at most half a
+    // quantization step (no clamping can occur below amax).
+    EXPECT_LE(std::fabs(back - src[i]), t.scale * 0.5F + 1e-6F) << "element " << i;
+    EXPECT_LE(std::abs(static_cast<int>(t.q[i])), 127);
+  }
+}
+
+TEST(QuantizeSymmetric, AllZeroBlockHasZeroScale) {
+  const std::vector<float> zeros(32, 0.0F);
+  const QuantizedTensor t = quantize_symmetric(zeros.data(), zeros.size());
+  EXPECT_EQ(t.scale, 0.0F);
+  for (std::int8_t q : t.q) EXPECT_EQ(q, 0);
+}
+
+TEST(QuantizedSequential, TracksFloatModelClosely) {
+  Sequential model = make_tiny_model();
+  const QuantizedSequential qm = QuantizedSequential::from_model(model, kTinyShape);
+  ASSERT_FALSE(qm.empty());
+
+  InferenceContext ctx;
+  ctx.bind(model, kTinyShape, 4);
+  ctx.reserve_bytes(qm.scratch_bytes());
+  Rng rng(6);
+  const Tensor4 batch = random_batch(4, rng);
+
+  ctx.input(4).data() = batch.data();
+  std::vector<float> f32(4);
+  const Tensor4& fo = model.infer_batch(ctx);
+  for (std::int32_t s = 0; s < 4; ++s) f32[static_cast<std::size_t>(s)] = fo.sample(s)[0];
+
+  ctx.input(4).data() = batch.data();
+  const Tensor4& qo = qm.infer_batch(ctx);
+  for (std::int32_t s = 0; s < 4; ++s) {
+    const float q = qo.sample(s)[0];
+    EXPECT_TRUE(std::isfinite(q));
+    // int8 weights + per-sample activation scales keep sigmoid outputs
+    // within a few percent of float for a well-conditioned tiny model.
+    EXPECT_NEAR(q, f32[static_cast<std::size_t>(s)], 0.05F) << "sample " << s;
+  }
+}
+
+TEST(QuantizedSequential, BatchCompositionIndependence) {
+  // Per-SAMPLE dynamic activation scales: a window's quantized score must
+  // not depend on what else shares its batch (the float path's contract).
+  Sequential model = make_tiny_model();
+  const QuantizedSequential qm = QuantizedSequential::from_model(model, kTinyShape);
+  InferenceContext ctx;
+  ctx.bind(model, kTinyShape, 3);
+  ctx.reserve_bytes(qm.scratch_bytes());
+  Rng rng(7);
+  const Tensor4 batch = random_batch(3, rng);
+
+  ctx.input(3).data() = batch.data();
+  const Tensor4& full = qm.infer_batch(ctx);
+  std::vector<float> batched(3);
+  for (std::int32_t s = 0; s < 3; ++s) batched[static_cast<std::size_t>(s)] = full.sample(s)[0];
+
+  for (std::int32_t s = 0; s < 3; ++s) {
+    Tensor4& in = ctx.input(1);
+    std::copy(batch.sample(s), batch.sample(s) + batch.sample_size(), in.sample(0));
+    const float solo = qm.infer_batch(ctx).sample(0)[0];
+    // Bitwise: identical staging, identical kernels, identical scales.
+    EXPECT_EQ(solo, batched[static_cast<std::size_t>(s)]) << "sample " << s;
+  }
+}
+
+TEST(QuantizedSequential, SamePaddingTreatsBorderAsRealZero) {
+  // Constant input 2.0 with all-ones weights is exactly representable by
+  // the asymmetric scheme (activation code 255, zero-point 0, weight code
+  // 127), so quantized and float outputs agree to float rounding — at the
+  // BORDER too. If im2col staged padding as code 0 instead of the
+  // zero-point byte, every border output would be off by several units.
+  Sequential m;
+  m.emplace<Conv2D>(1, 1, 3, Padding::Same);
+  const std::vector<Param*> params = m.layer(0).params();
+  for (float& w : params[0]->value) w = 1.0F;
+  params[1]->value[0] = 0.5F;
+  const Tensor3 shape(1, 4, 4);
+  const QuantizedSequential qm = QuantizedSequential::from_model(m, shape);
+
+  InferenceContext ctx;
+  ctx.bind(m, shape, 1);
+  ctx.reserve_bytes(qm.scratch_bytes());
+  for (float& v : ctx.input(1).data()) v = 2.0F;
+  std::vector<float> f32(16);
+  const Tensor4& fo = m.infer_batch(ctx);
+  std::copy(fo.sample(0), fo.sample(0) + 16, f32.begin());
+  EXPECT_FLOAT_EQ(f32[5], 18.5F);  // interior: 9 taps * 2 + bias
+  EXPECT_FLOAT_EQ(f32[0], 8.5F);   // corner: 4 valid taps * 2 + bias
+
+  for (float& v : ctx.input(1).data()) v = 2.0F;
+  const Tensor4& qo = qm.infer_batch(ctx);
+  for (std::size_t j = 0; j < 16; ++j) {
+    EXPECT_NEAR(qo.sample(0)[j], f32[j], 1e-4F) << "pixel " << j;
+  }
+}
+
+TEST(QuantizedSequential, SaveLoadRoundTripsExactly) {
+  Sequential model = make_tiny_model();
+  const QuantizedSequential qm = QuantizedSequential::from_model(model, kTinyShape);
+  std::ostringstream os;
+  ASSERT_TRUE(qm.save(os));
+
+  QuantizedSequential loaded;
+  std::istringstream is(os.str());
+  ASSERT_TRUE(loaded.load(is, model, kTinyShape));
+  EXPECT_EQ(loaded.scratch_bytes(), qm.scratch_bytes());
+
+  // Round trip is exact: re-serializing the loaded twin reproduces the
+  // blob byte for byte.
+  std::ostringstream os2;
+  ASSERT_TRUE(loaded.save(os2));
+  EXPECT_EQ(os.str(), os2.str());
+
+  // A mismatched architecture is rejected, not silently accepted.
+  Sequential other;
+  other.emplace<Dense>(8, 2);
+  QuantizedSequential bad;
+  std::istringstream is2(os.str());
+  EXPECT_FALSE(bad.load(is2, other, Tensor3(8, 1, 1)));
+  EXPECT_TRUE(bad.empty());
+}
+
+monitor::FrameSample synthetic_window(const monitor::FrameGeometry& geom, Rng& rng) {
+  monitor::FrameSample s;
+  for (Direction d : kMeshDirections) {
+    Frame vco = geom.make_frame();
+    Frame boc = geom.make_frame();
+    for (float& v : vco.data()) v = static_cast<float>(rng.uniform());
+    for (float& v : boc.data()) v = static_cast<float>(rng.uniform_int(0, 400));
+    monitor::frame_of(s.vco, d) = std::move(vco);
+    monitor::frame_of(s.boc, d) = std::move(boc);
+    monitor::frame_of(s.port_truth, d) = geom.make_frame();
+  }
+  return s;
+}
+
+TEST(QuantizedPipeline, Int8SessionScoresAndSnapshotRoundTrips) {
+  const MeshShape mesh = MeshShape::square(8);
+  core::Dl2FenceConfig cfg = core::Dl2FenceConfig::paper_default(mesh);
+  core::PipelineEngine engine(cfg);
+  Rng det_rng(7), loc_rng(8);
+  engine.mutable_detector().model().init_weights(det_rng);
+  engine.mutable_localizer().model().init_weights(loc_rng);
+  EXPECT_FALSE(engine.has_quantized());
+  engine.quantize();
+  ASSERT_TRUE(engine.has_quantized());
+
+  const monitor::FrameGeometry geom(mesh);
+  Rng rng(99);
+  std::vector<monitor::FrameSample> windows;
+  for (int i = 0; i < 6; ++i) windows.push_back(synthetic_window(geom, rng));
+
+  core::PipelineSession f32(engine, 4);
+  core::PipelineSession int8(engine, 4, core::PipelineSession::Precision::Int8);
+  EXPECT_EQ(int8.precision(), core::PipelineSession::Precision::Int8);
+  const std::vector<float> pf = f32.detect_batch({windows.data(), windows.size()});
+  const std::vector<float> pq = int8.detect_batch({windows.data(), windows.size()});
+  const float thr = cfg.detector.threshold;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(pq[i]));
+    EXPECT_GE(pq[i], 0.0F);
+    EXPECT_LE(pq[i], 1.0F);
+    EXPECT_NEAR(pq[i], pf[i], 0.1F) << "window " << i;
+    // Guard-band postcondition: a window either kept a CONFIDENT int8
+    // score (outside the fallback margin) or carries the float score
+    // bit-for-bit.
+    EXPECT_TRUE(std::fabs(pq[i] - thr) > core::PipelineSession::kInt8FallbackMargin ||
+                pq[i] == pf[i])
+        << "window " << i;
+  }
+  EXPECT_EQ(f32.windows_scored(), windows.size());
+  EXPECT_EQ(f32.int8_fallback_windows(), 0U);
+  EXPECT_EQ(int8.windows_scored(), windows.size());
+  EXPECT_LE(int8.int8_fallback_windows(), windows.size());
+
+  // The full round (localization included) runs at Int8 without faulting.
+  const core::RoundResult r = int8.localize(windows.front());
+  EXPECT_TRUE(r.detected);
+
+  // Snapshot round trip carries the int8 twins verbatim.
+  const runtime::ModelSnapshot snap = runtime::ModelSnapshot::capture(engine);
+  ASSERT_FALSE(snap.detector_quant_weights.empty());
+  const core::PipelineEngine restored = snap.make_engine();
+  ASSERT_TRUE(restored.has_quantized());
+  const runtime::ModelSnapshot snap2 = runtime::ModelSnapshot::capture(restored);
+  EXPECT_EQ(snap2.detector_quant_weights, snap.detector_quant_weights);
+  EXPECT_EQ(snap2.localizer_quant_weights, snap.localizer_quant_weights);
+}
+
+}  // namespace
+}  // namespace dl2f::nn

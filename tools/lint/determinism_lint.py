@@ -30,7 +30,13 @@ DL005  std::atomic / std::atomic_ref on floating types: racing FP
        updates commute only approximately; ordering is scheduler-bound.
 DL006  a TU that defines or calls a GEMM-path kernel (gemm*/im2col*/
        im2row* token in code) must carry an `// ACCUM-ORDER:` contract
-       comment documenting its accumulation-order obligations.
+       comment documenting its accumulation-order obligations. In
+       src/nn/ the rule additionally bans fast-math / FP-contraction
+       pragmas (`#pragma ... fast-math`, `#pragma STDC FP_CONTRACT`,
+       `#pragma clang fp contract`, and their _Pragma forms): contraction
+       skips the intermediate rounding the SIMD tiers' bitwise-parity
+       contract depends on, and the kernel TUs compile with
+       -ffp-contract=off on purpose (see nn/gemm.hpp).
 
 Suppressions
 ------------
@@ -103,6 +109,11 @@ FLOAT_ATOMIC_RE = re.compile(
 )
 GEMM_TOKEN_RE = re.compile(r"\b(?:gemm\w*|im2col\w*|im2row\w*)\s*\(")
 ACCUM_ORDER_RE = re.compile(r"//\s*ACCUM-ORDER:")
+# Pragma-line detector + the fast-math / FP-contraction tokens banned in
+# src/nn/ (raw lines are scanned, but only ones carrying a pragma, so
+# prose mentions of -ffp-contract=off in comments never trip it).
+PRAGMA_LINE_RE = re.compile(r"^\s*#\s*pragma\b|\b_Pragma\s*\(")
+FASTMATH_TOKEN_RE = re.compile(r"fast[-_]math|fp[-_]?contract|fp\s+contract", re.IGNORECASE)
 
 
 @dataclass
@@ -119,7 +130,9 @@ class Finding:
 def strip_code(text: str) -> str:
     """Blank out comments and string/char literals, preserving line
     structure, so rule regexes only ever see code. Handles //, /* */,
-    "..."/'...' with escapes, and raw strings R"delim(...)delim"."""
+    "..."/'...' with escapes, raw strings R"delim(...)delim", and C++14
+    digit separators (0x38'51 — the ' is part of the number, not a char
+    literal; misreading it would silently strip the rest of the file)."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -144,6 +157,13 @@ def strip_code(text: str) -> str:
             j = n if j < 0 else j + len(close)
             out.extend("\n" if ch == "\n" else " " for ch in text[i:j])
             i = j
+        elif (c == "'" and out and out[-1] in "0123456789abcdefABCDEF" and i + 1 < n
+              and text[i + 1] in "0123456789abcdefABCDEF"):
+            # Digit separator inside a numeric literal (both neighbors are
+            # hex digits; wide-char prefixes L/u/U are not), not a char
+            # literal.
+            out.append(c)
+            i += 1
         elif c in "\"'":
             quote, j = c, i + 1
             while j < n and text[j] != quote:
@@ -253,6 +273,17 @@ def lint_text(relpath: str, text: str, header_text: str = "") -> list[Finding]:
         emit(0, "DL006",
              "GEMM-path TU without an `// ACCUM-ORDER:` contract block — document "
              "this file's accumulation-order obligations (see src/nn/gemm.hpp)")
+
+    # DL006 (kernel-TU hardening): no fast-math / FP-contraction pragmas
+    # anywhere in src/nn/ — contraction fuses mul+add and breaks the
+    # bitwise scalar/SIMD parity contract.
+    if "src/nn/" in relpath.replace(os.sep, "/"):
+        for idx, line in enumerate(raw_lines):
+            if PRAGMA_LINE_RE.search(line) and FASTMATH_TOKEN_RE.search(line):
+                emit(idx, "DL006",
+                     "fast-math / FP-contraction pragma in a kernel TU: contraction "
+                     "skips the intermediate rounding the SIMD dispatch's bitwise "
+                     "parity depends on — kernel TUs compile with -ffp-contract=off")
 
     findings.sort(key=lambda f: (f.line, f.rule))
     return findings

@@ -1,0 +1,14 @@
+// Fixture: fast-math / FP-contraction pragmas inside src/nn/ — each of
+// the three pragma spellings below must produce one DL006 finding even
+// though the TU carries a valid contract block.
+// ACCUM-ORDER: one scalar accumulator per output element; the reduction
+// index walks strictly ascending; no partial sums are split or combined.
+#pragma STDC FP_CONTRACT ON
+#pragma GCC optimize("fast-math")
+#pragma clang fp contract(fast)
+
+void gemm_bias_like(int m, int n, const float* a, float* c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) c[i * n + j] += a[i];
+  }
+}

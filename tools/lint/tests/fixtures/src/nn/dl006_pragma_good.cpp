@@ -1,0 +1,13 @@
+// Fixture: src/nn/ TU that only MENTIONS contraction flags in comments
+// (the real kernel TUs document that they compile with -ffp-contract=off
+// and must stay lintable) plus an unrelated, harmless pragma.
+// ACCUM-ORDER: one scalar accumulator per output element; the reduction
+// index walks strictly ascending; no partial sums are split or combined.
+// This TU compiles with -ffp-contract=off; -ffast-math is banned.
+#pragma once
+
+void gemm_bias_like(int m, int n, const float* a, float* c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) c[i * n + j] += a[i];
+  }
+}

@@ -84,6 +84,16 @@ class FixtureTests(unittest.TestCase):
         self.assertEqual(rules_of(findings), ["DL006"])
         self.assert_clean("dl006_good.cpp")
 
+    def test_dl006_bans_fastmath_pragmas_in_src_nn(self):
+        findings = run_fixture(os.path.join("src", "nn", "dl006_pragma_bad.cpp"))
+        self.assertEqual(rules_of(findings), ["DL006"])
+        # FP_CONTRACT, optimize("fast-math"), clang fp contract — three
+        # distinct pragma lines.
+        self.assertEqual(len({f.line for f in findings}), 3)
+
+    def test_dl006_pragma_rule_ignores_comment_mentions(self):
+        self.assert_clean(os.path.join("src", "nn", "dl006_pragma_good.cpp"))
+
     def test_suppression_with_reason_silences_next_line(self):
         self.assert_clean("suppression_good.cpp")
 
@@ -103,6 +113,14 @@ class ScannerTests(unittest.TestCase):
             self.assertNotIn(banned, code)
         self.assertIn("int x;", code)
         self.assertEqual(code.count("\n"), text.count("\n"))
+
+    def test_strip_survives_digit_separators(self):
+        # 0x38'51 must not open a char literal — misreading it would strip
+        # the rest of the file and silently mask findings below it.
+        text = "constexpr auto m = 0x38'51'4C'44;\nauto r = std::rand();\n"
+        findings = lint.lint_text("x.cpp", text)
+        self.assertEqual([(f.rule, f.line) for f in findings], [("DL001", 2)])
+        self.assertIn("0x38'51'4C'44", lint.strip_code(text))
 
     def test_strip_handles_raw_strings_and_escapes(self):
         text = 'auto r = R"(std::rand())"; auto e = "esc\\"getenv";\nint keep;\n'
